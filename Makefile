@@ -1,0 +1,32 @@
+# Convenience targets for the repro library.
+
+PY ?= python3
+
+.PHONY: install test bench bench-fast reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	REPRO_BENCH_FAST=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PY) examples/reproduce_paper.py
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/partition_tuning.py
+	$(PY) examples/compression_explorer.py
+	$(PY) examples/remote_session_nasa.py
+	$(PY) examples/ibr_explorer.py
+	$(PY) examples/tcp_deployment.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

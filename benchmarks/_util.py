@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints it
+in the paper's row/series layout, and persists the text to
+``benchmarks/results/`` so EXPERIMENTS.md can reference the artifacts.
+
+Set ``REPRO_BENCH_FAST=1`` to cap image sizes at 512² (cuts the Table 1
+and Figure 10 benches from minutes to seconds on slow machines).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the paper's four image sizes (pixels per side)
+IMAGE_SIZES = (128, 256, 512, 1024)
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def image_sizes() -> tuple[int, ...]:
+    return IMAGE_SIZES[:3] if fast_mode() else IMAGE_SIZES
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Print a reproduced artifact and persist it under results/."""
+    text = "\n".join(lines)
+    banner = f"===== {name} ====="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def fmt_row(label: str, values, width: int = 12, prec: int = 3) -> str:
+    cells = []
+    for v in values:
+        if isinstance(v, float):
+            cells.append(f"{v:{width}.{prec}f}")
+        else:
+            cells.append(f"{v:>{width}}")
+    return f"{label:<22}" + "".join(cells)

@@ -1,0 +1,62 @@
+"""Ablation (§3) — the three processor-management approaches.
+
+Approach 1: intra-volume only (L=1, all P procs on one volume at a
+time).  Approach 2: inter-volume only (L=P, one processor per volume).
+Approach 3: hybrid (1 < L < P).  Claim: "the third approach indeed
+performs the best among the three for batch-mode rendering."
+"""
+
+from _util import emit, fmt_row
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+def run(procs, l_groups):
+    return simulate_pipeline(
+        PipelineConfig(
+            n_procs=procs,
+            n_groups=l_groups,
+            n_steps=128,
+            profile=JET_PROFILE,
+            machine=RWCP_CLUSTER,
+            image_size=(256, 256),
+            transport="store",
+        )
+    ).metrics
+
+
+def compare(procs=32):
+    return {
+        "intra-volume (L=1)": run(procs, 1),
+        "hybrid (L=4)": run(procs, 4),
+        f"inter-volume (L={procs})": run(procs, procs),
+    }
+
+
+def test_ablation_three_approaches(benchmark):
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: processor-management approaches (P=32, 128 jet steps)",
+        "",
+        fmt_row("approach", ["overall (s)", "startup (s)", "inter-frame (s)"]),
+    ]
+    for name, m in results.items():
+        lines.append(
+            fmt_row(
+                name,
+                [m.overall_time, m.start_up_latency, m.inter_frame_delay],
+                prec=2,
+            )
+        )
+    emit("ablation_approaches", lines)
+
+    hybrid = results["hybrid (L=4)"]
+    intra = results["intra-volume (L=1)"]
+    inter = results["inter-volume (L=32)"]
+    assert hybrid.overall_time < intra.overall_time
+    assert hybrid.overall_time < inter.overall_time
+    # the trade-off: intra has the best latency, inter the worst
+    assert intra.start_up_latency < hybrid.start_up_latency < inter.start_up_latency

@@ -1,0 +1,67 @@
+"""Ablation (§7.1) — lossy-codec flicker on a real animation.
+
+"One potential problem with lossy methods is that the loss could change
+between adjacent frames … which could produce a flickering in the final
+animation.  We have not experienced such a problem so far."  We measure
+codec-induced temporal noise on consecutive really-rendered jet frames,
+for JPEG at several qualities and for the lossless path, and test the
+paper's observation: at the shipped quality the flicker stays below the
+visibility rule of thumb.
+"""
+
+from _util import emit, fmt_row
+
+from repro.compress import get_codec
+from repro.compress.flicker import measure_flicker
+
+QUALITIES = (90, 75, 50, 25)
+
+
+def run_study(frames):
+    rows = {}
+    for q in QUALITIES:
+        rows[f"jpeg q={q}"] = measure_flicker(frames, get_codec("jpeg", quality=q))
+    rows["lzo (lossless)"] = measure_flicker(frames, get_codec("lzo"))
+    return rows
+
+
+def test_ablation_flicker(benchmark, jet_animation):
+    rows = benchmark.pedantic(
+        run_study, args=(jet_animation,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation: lossy-codec flicker on 4 consecutive 256^2 jet frames",
+        "",
+        fmt_row(
+            "codec", ["excess RMS", "static RMS", "psnr std", "visible?"]
+        ),
+    ]
+    for name, rep in rows.items():
+        lines.append(
+            fmt_row(
+                name,
+                [
+                    round(rep.excess_temporal_rms, 3),
+                    round(rep.static_region_rms, 3),
+                    round(rep.psnr_std, 3),
+                    "yes" if rep.visible else "no",
+                ],
+            )
+        )
+    lines += [
+        "",
+        "paper: 'We have not experienced such a problem so far' — at the",
+        "shipped visually-lossless quality the static-region flicker sits",
+        "below the ~1-level visibility threshold; crank the loss up and",
+        "the §7.1 concern becomes measurable.",
+    ]
+    emit("ablation_flicker", lines)
+
+    # lossless codecs cannot flicker
+    assert rows["lzo (lossless)"].excess_temporal_rms == 0.0
+    # the paper's regime: no visible flicker at shipped quality
+    assert not rows["jpeg q=90"].visible
+    # flicker grows monotonically as quality drops
+    series = [rows[f"jpeg q={q}"].static_region_rms for q in QUALITIES]
+    assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,82 @@
+"""Ablation (§7.1) — frame differencing on a real rendered animation.
+
+The paper's future-work compression: "exploit frame (temporal) coherence
+as the frame differencing technique demonstrated by Crockett [5]".  We
+measure it against per-frame LZO and per-frame JPEG+LZO on really-
+rendered jet sequences at two output cadences: *fine* time steps (high
+temporal coherence — where the technique pays) and *coarse* time steps
+(fast-evolving frames — where per-pixel deltas turn to noise and the
+technique loses its edge).  This is exactly the trade-off that makes the
+paper defer it to future work.
+"""
+
+from _util import emit, fmt_row
+
+from repro.compress import get_codec
+from repro.data.fields import jet_field
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+
+SHAPE = (77, 77, 62)  # 0.6-scale jet grid
+SIZE = 192
+N_FRAMES = 4
+
+
+def render_sequence(dt: float):
+    tf = TransferFunction.jet()
+    cam = Camera(image_size=(SIZE, SIZE))
+    frames = []
+    for k in range(N_FRAMES):
+        vol = jet_field(SHAPE, t=40.0 + k * dt)
+        frames.append(to_display_rgb(render_volume(vol, tf, cam)))
+    return frames
+
+
+def total_bytes(frames, codec_name):
+    codec = get_codec(codec_name)
+    return sum(len(codec.encode_image(f)) for f in frames)
+
+
+def run_ablation():
+    out = {}
+    for regime, dt in (("fine-steps (dt=0.1)", 0.1), ("coarse-steps (dt=1)", 1.0)):
+        frames = render_sequence(dt)
+        out[regime] = {
+            "framediff": total_bytes(frames, "framediff"),
+            "lzo": total_bytes(frames, "lzo"),
+            "jpeg+lzo": total_bytes(frames, "jpeg+lzo"),
+        }
+    return out
+
+
+def test_ablation_frame_differencing(benchmark):
+    data = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: frame differencing vs per-frame compression",
+        f"({N_FRAMES} consecutive {SIZE}x{SIZE} jet frames, total bytes)",
+        "",
+        fmt_row("regime", ["framediff", "lzo", "jpeg+lzo"]),
+    ]
+    for regime, row in data.items():
+        lines.append(
+            fmt_row(regime, [row["framediff"], row["lzo"], row["jpeg+lzo"]])
+        )
+    lines += [
+        "",
+        "frame differencing pays under high temporal coherence (fine",
+        "steps) and loses its edge when consecutive frames decorrelate —",
+        "while lossy JPEG+LZO dominates both regimes, which is why the",
+        "paper ships JPEG and leaves frame differencing as future work.",
+    ]
+    emit("ablation_framediff", lines)
+
+    fine = data["fine-steps (dt=0.1)"]
+    coarse = data["coarse-steps (dt=1)"]
+    # temporal coherence wins when frames are coherent...
+    assert fine["framediff"] < fine["lzo"]
+    # ...and the advantage shrinks (or flips) at coarse cadence
+    fine_gain = fine["lzo"] / fine["framediff"]
+    coarse_gain = coarse["lzo"] / coarse["framediff"]
+    assert fine_gain > coarse_gain
+    # the lossy codec still beats both lossless schemes outright
+    assert fine["jpeg+lzo"] < fine["framediff"]

@@ -1,0 +1,61 @@
+"""Ablation — the hybrid sub-image grouping suggested by Figure 10.
+
+"This set of test results suggests that a hybrid approach might give us
+the best performance.  That is, a small number of sub-images are combined
+to form larger sub-images before compression."  With G=16 compositing
+nodes, we compare shipping 16 raw strips vs combining them into 1, 2, 4,
+or 8 larger pieces, on the end-to-end display-path cost (compress +
+transfer + decompress) using the calibrated models.
+"""
+
+from _util import emit, fmt_row
+
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+GROUP_NODES = 16
+PIECES = (1, 2, 4, 8, 16)
+PIXELS = 512 * 512
+
+
+def path_costs():
+    costs = NASA_O2K.costs
+    out = {}
+    for pieces in PIECES:
+        compress = costs.compress_s(PIXELS, pieces)
+        nbytes = costs.compressed_frame_bytes(PIXELS, JET_PROFILE, pieces)
+        transfer = NASA_TO_UCD.transfer_s(nbytes)
+        decompress = O2_CLIENT.costs.decompress_s(PIXELS, pieces)
+        # combining 16 strips into `pieces` groups costs one extra
+        # intra-group image exchange when pieces < 16
+        combine = (
+            0.0
+            if pieces == GROUP_NODES
+            else PIXELS * 4 / costs.internal_bandwidth_Bps
+        )
+        out[pieces] = (combine, compress, transfer, decompress)
+    return out
+
+
+def test_ablation_hybrid_sub_image_grouping(benchmark):
+    table = benchmark.pedantic(path_costs, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: hybrid sub-image grouping, G=16 nodes, 512^2 frame (s)",
+        "",
+        fmt_row("pieces", list(PIECES)),
+        fmt_row("combine", [table[p][0] for p in PIECES], prec=4),
+        fmt_row("compress", [table[p][1] for p in PIECES], prec=4),
+        fmt_row("transfer", [table[p][2] for p in PIECES], prec=4),
+        fmt_row("decompress", [table[p][3] for p in PIECES], prec=4),
+        fmt_row("total", [sum(table[p]) for p in PIECES], prec=4),
+    ]
+    best = min(PIECES, key=lambda p: sum(table[p]))
+    lines += ["", f"best piece count: {best} (paper suggests 2-8)"]
+    emit("ablation_hybrid_pieces", lines)
+
+    totals = {p: sum(table[p]) for p in PIECES}
+    # the hybrid (a few combined pieces) beats both extremes
+    assert best in (2, 4, 8)
+    assert totals[best] < totals[1]
+    assert totals[best] < totals[16]

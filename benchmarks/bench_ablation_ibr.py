@@ -1,0 +1,104 @@
+"""Ablation (§7.1) — image-based remote viewing vs per-view round trips.
+
+Bethel's Visapult idea as the paper describes it: ship a set of
+pre-rendered compressed views once, then reconstruct interactions on the
+client.  We compare, for a 12-interaction exploration of one time step
+over the NASA→UCD WAN: (a) the round-trip cost of re-rendering and
+re-shipping each view, vs (b) shipping one view set and reconstructing
+locally.
+"""
+
+import numpy as np
+from _util import emit, fmt_row
+
+from repro.data import turbulent_jet
+from repro.render import (
+    Camera,
+    IBRClient,
+    TransferFunction,
+    build_view_set,
+    render_volume,
+    to_display_rgb,
+)
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+N_INTERACTIONS = 12
+SIZE = 128
+
+
+def build(volume):
+    return build_view_set(
+        volume,
+        TransferFunction.jet(),
+        time_step=0,
+        image_size=(SIZE, SIZE),
+        azimuths=tuple(range(0, 360, 45)),
+        codec="jpeg+lzo",
+    )
+
+
+def test_ablation_image_based_rendering(benchmark):
+    volume = turbulent_jet(scale=0.5, n_steps=2).volume(1)
+    view_set = benchmark.pedantic(build, args=(volume,), rounds=1, iterations=1)
+    client = IBRClient(view_set)
+
+    px = SIZE * SIZE
+    costs = NASA_O2K.costs
+    # per-interaction round trip: render on 16 procs + compress +
+    # transfer + decompress (the §4 path)
+    render = costs.group_render_s(JET_PROFILE, px, 16) + costs.composite_s(px, 16)
+    frame_bytes = costs.compressed_frame_bytes(px, JET_PROFILE)
+    roundtrip = (
+        render
+        + costs.compress_s(px)
+        + NASA_TO_UCD.transfer_s(frame_bytes)
+        + O2_CLIENT.costs.decompress_s(px)
+    )
+    # IBR: one set upload, then client-side blends (~two adds per pixel,
+    # modeled via the client put bandwidth)
+    set_upload = NASA_TO_UCD.transfer_s(view_set.total_bytes) + (
+        O2_CLIENT.costs.decompress_s(px) * view_set.n_views
+    )
+    reconstruct = 2 * px * 3 / O2_CLIENT.local_display_bandwidth_Bps
+
+    per_view_total = N_INTERACTIONS * roundtrip
+    ibr_total = set_upload + N_INTERACTIONS * reconstruct
+
+    # quality of a reconstructed in-between view
+    probe_az = 22.5
+    truth = to_display_rgb(
+        render_volume(
+            volume,
+            TransferFunction.jet(),
+            Camera(image_size=(SIZE, SIZE), azimuth=probe_az, elevation=20.0),
+        )
+    )
+    recon = client.reconstruct(probe_az, 20.0)
+    corr = float(
+        np.corrcoef(recon.astype(float).ravel(), truth.astype(float).ravel())[0, 1]
+    )
+
+    lines = [
+        "Ablation: image-based remote viewing (12 interactions, 128^2)",
+        "",
+        fmt_row("approach", ["first view (s)", "per view (s)", "total (s)"]),
+        fmt_row(
+            "round-trip re-render", [roundtrip, roundtrip, per_view_total], prec=3
+        ),
+        fmt_row(
+            "IBR view set",
+            [set_upload + reconstruct, reconstruct, ibr_total],
+            prec=3,
+        ),
+        "",
+        f"view set: {view_set.n_views} views, {view_set.total_bytes} bytes",
+        f"reconstruction correlation with true render at az=22.5: {corr:.3f}",
+    ]
+    emit("ablation_ibr", lines)
+
+    # interaction latency: local reconstruction is orders faster
+    assert reconstruct < roundtrip / 10
+    # and the session amortizes after a handful of interactions
+    assert ibr_total < per_view_total
+    assert corr > 0.7

@@ -1,0 +1,77 @@
+"""Ablation (§3/§5) — interactivity vs batch throughput across L.
+
+"When interactive viewing is desired, start-up latency and inter-frame
+delay play crucial role in determining the effectiveness of the system.
+When visualization calculations are done in a batch mode, overall
+execution time should be the major concern."  Plus §5's control-response
+delay.  This bench puts all four criteria side by side per L, showing
+that the *interactive* optimum sits at smaller L than the *batch*
+optimum — the design tension the paper navigates.
+"""
+
+from _util import emit, fmt_row
+
+from repro.core import PipelineConfig, control_response_latency, simulate_pipeline
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+PROCS = 64
+LS = (1, 2, 4, 8, 16, 32)
+
+
+def sweep():
+    out = {}
+    for l_groups in LS:
+        result = simulate_pipeline(
+            PipelineConfig(
+                n_procs=PROCS,
+                n_groups=l_groups,
+                n_steps=128,
+                profile=JET_PROFILE,
+                machine=RWCP_CLUSTER,
+                image_size=(256, 256),
+            )
+        ).metrics
+        out[l_groups] = {
+            "overall": result.overall_time,
+            "startup": result.start_up_latency,
+            "interframe": result.inter_frame_delay,
+            "control": control_response_latency(
+                RWCP_CLUSTER, JET_PROFILE, PROCS, l_groups
+            ),
+        }
+    return out
+
+
+def test_ablation_interactivity(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: batch vs interactive criteria per partition count (P=64)",
+        "",
+        fmt_row("L", list(LS)),
+        fmt_row("overall time (s)", [data[l]["overall"] for l in LS], prec=1),
+        fmt_row("start-up (s)", [data[l]["startup"] for l in LS], prec=2),
+        fmt_row("inter-frame (s)", [data[l]["interframe"] for l in LS], prec=3),
+        fmt_row("control delay (s)", [data[l]["control"] for l in LS], prec=2),
+    ]
+    batch_best = min(LS, key=lambda l: data[l]["overall"])
+    interactive_best = min(
+        LS, key=lambda l: data[l]["startup"] + data[l]["control"]
+    )
+    lines += [
+        "",
+        f"batch optimum (overall time): L={batch_best}",
+        f"interactive optimum (startup + control delay): L={interactive_best}",
+        "the paper's §3 trade-off: deeper pipelining buys batch throughput",
+        "at the cost of responsiveness.",
+    ]
+    emit("ablation_interactivity", lines)
+
+    assert batch_best == 4
+    assert interactive_best < batch_best
+    # both latency criteria degrade monotonically with L
+    startups = [data[l]["startup"] for l in LS]
+    controls = [data[l]["control"] for l in LS]
+    assert all(a < b for a, b in zip(startups, startups[1:]))
+    assert all(a < b for a, b in zip(controls, controls[1:]))

@@ -1,0 +1,62 @@
+"""Ablation (§7.1) — parallel I/O in the rendering pipeline.
+
+"Parallel I/O, if available, can be incorporated into the pipeline
+rendering process quite straightforwardly, and would improve the overall
+system performance."  We sweep the partition count with 1, 2, 4 and 8
+I/O servers on the P=64 RWCP configuration of Figure 6 and watch both
+the overall time and the optimal L shift as storage stops being the
+right-side bottleneck.
+"""
+
+from _util import emit, fmt_row
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+LS = (1, 2, 4, 8, 16, 32)
+SERVERS = (1, 2, 4, 8)
+
+
+def sweep():
+    out = {}
+    for servers in SERVERS:
+        out[servers] = {}
+        for l_groups in LS:
+            out[servers][l_groups] = simulate_pipeline(
+                PipelineConfig(
+                    n_procs=64,
+                    n_groups=l_groups,
+                    n_steps=128,
+                    profile=JET_PROFILE,
+                    machine=RWCP_CLUSTER,
+                    image_size=(256, 256),
+                    io_servers=servers,
+                )
+            ).overall_time
+    return out
+
+
+def test_ablation_parallel_io(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: parallel I/O (P=64, 128 jet steps, 256x256), overall s",
+        "",
+        fmt_row("servers \\ L", list(LS)),
+    ]
+    for servers in SERVERS:
+        lines.append(
+            fmt_row(f"{servers} I/O server(s)", [data[servers][l] for l in LS], prec=1)
+        )
+    best = {s: min(data[s], key=data[s].get) for s in SERVERS}
+    lines += ["", f"optimal L per server count: {best}"]
+    emit("ablation_parallel_io", lines)
+
+    # parallel I/O never hurts and helps where storage was the bottleneck
+    for l_groups in LS:
+        assert data[8][l_groups] <= data[1][l_groups] + 1e-9
+    assert data[8][8] < data[1][8]
+    # with storage contention gone, the optimum moves to more groups
+    assert best[8] >= best[1]
+    assert best[8] > 4

@@ -1,0 +1,63 @@
+"""Codec throughput — the speed claims behind the §4.2 codec choices.
+
+"LZO … offers fast compression and very fast decompression"; "BZIP has
+very good lossless compression … better than gzip" (slower but tighter);
+JPEG trades quality for size.  This bench measures encode/decode
+throughput of every codec on a real 256² jet frame with pytest-benchmark
+statistics (these are also the numbers a user needs to budget their own
+display pipeline).
+"""
+
+import pytest
+
+from repro.compress import get_codec
+
+METHODS = ("rle", "lzo", "deflate", "bzip", "jpeg", "jpeg+lzo")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_encode_throughput(benchmark, jet_frames, method):
+    frame = jet_frames[256]
+    codec = get_codec(method)
+    payload = benchmark(codec.encode_image, frame)
+    assert len(payload) > 0
+    benchmark.extra_info["ratio"] = frame.nbytes / len(payload)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_decode_throughput(benchmark, jet_frames, method):
+    frame = jet_frames[256]
+    codec = get_codec(method)
+    payload = codec.encode_image(frame)
+    out = benchmark(codec.decode_image, payload)
+    assert out.shape == frame.shape
+
+
+def test_lzo_decodes_faster_than_bzip(benchmark, jet_frames):
+    """The paper's stated reason for offering LZO at all."""
+    import time
+
+    frame = jet_frames[256]
+    lzo = get_codec("lzo")
+    bzip = get_codec("bzip")
+    lzo_payload = lzo.encode_image(frame)
+    bzip_payload = bzip.encode_image(frame)
+
+    def clock(fn, *args, repeat=3):
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def compare():
+        return (
+            clock(lzo.decode_image, lzo_payload),
+            clock(bzip.decode_image, bzip_payload),
+        )
+
+    t_lzo, t_bzip = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert t_lzo < t_bzip
+    # and BZIP compresses tighter, the other side of the trade-off
+    assert len(bzip_payload) < len(lzo_payload)

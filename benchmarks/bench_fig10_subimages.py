@@ -1,0 +1,71 @@
+"""Figure 10 — time to decompress all sub-images vs piece count, 512².
+
+The parallel-compression transport ships each processor's strip as an
+independently-compressed sub-image; the single O2 client then decodes
+1..64 pieces.  Paper claims: "decompressing 2, 4, or 8 smaller sub-images
+is faster than decompressing a single, larger image" and "the
+decompression time increases significantly with 16 or more processors".
+
+Two series: the calibrated O2 cost model (the paper's machine), and a
+wall-clock measurement of our real codec on this machine (shape context;
+a modern CPU has different cache behaviour, so only the model series is
+asserted against the paper's dips).
+"""
+
+import time
+
+import numpy as np
+from _util import emit, fast_mode, fmt_row
+
+from repro.compress import get_codec
+from repro.render.image import split_tiles
+from repro.sim.cluster import O2_CLIENT
+
+PIECES = (1, 2, 4, 8, 16, 32, 64)
+SIZE = 512
+
+
+def model_series():
+    px = SIZE * SIZE
+    return {n: O2_CLIENT.costs.decompress_s(px, n) for n in PIECES}
+
+
+def measured_series(frame):
+    codec = get_codec("jpeg+lzo")
+    out = {}
+    for n in PIECES:
+        payloads = [
+            codec.encode_image(np.ascontiguousarray(strip))
+            for _, strip in split_tiles(frame, n)
+        ]
+        t0 = time.perf_counter()
+        for p in payloads:
+            codec.decode_image(p)
+        out[n] = time.perf_counter() - t0
+    return out
+
+
+def test_fig10_subimage_decompression(benchmark, jet_frames):
+    frame = jet_frames[SIZE if not fast_mode() else max(jet_frames)]
+    model = model_series()
+    measured = benchmark.pedantic(
+        measured_series, args=(frame,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Figure 10: time to decompress all sub-images, 512x512 total (s)",
+        "",
+        fmt_row("pieces", list(PIECES)),
+        fmt_row("O2 model (paper HW)", [model[n] for n in PIECES], prec=3),
+        fmt_row("measured (this HW)", [measured[n] for n in PIECES], prec=3),
+    ]
+    emit("fig10_subimages", lines)
+
+    # paper shape on the calibrated model:
+    assert model[2] < model[1]
+    assert model[4] < model[1]
+    assert model[8] < model[1]
+    assert model[16] > model[1]
+    assert model[64] > model[16]
+    # the real codec must at least show the >=16-piece overhead growth
+    assert measured[64] > measured[4]

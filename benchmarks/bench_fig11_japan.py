@@ -1,0 +1,63 @@
+"""Figure 11 — overall time per frame, RWCP (Japan) → UC Davis, 64 procs.
+
+X vs the display daemon at four image sizes over the trans-Pacific
+route.  Claims: "The performance of X, as expected, is not acceptable.
+The image transfer and X-display time took almost twice longer than the
+NASA-UCD case"; with the daemon "the average transfer time is only about
+a few seconds per frame even for the larger images."
+"""
+
+from _util import IMAGE_SIZES, emit, fmt_row
+
+from repro.net import XDisplayModel
+from repro.sim.cluster import (
+    NASA_TO_UCD,
+    O2_CLIENT,
+    RWCP_CLUSTER,
+    RWCP_TO_UCD,
+)
+from repro.sim.costs import JET_PROFILE
+
+
+def frame_times():
+    x_japan = XDisplayModel(route=RWCP_TO_UCD, client=O2_CLIENT)
+    x_nasa = XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+    costs = RWCP_CLUSTER.costs
+    rows = {"x": {}, "daemon": {}, "x_nasa": {}}
+    for size in IMAGE_SIZES:
+        px = size * size
+        rows["x"][size] = x_japan.frame_time_s(px)
+        rows["x_nasa"][size] = x_nasa.frame_time_s(px)
+        nbytes = costs.compressed_frame_bytes(px, JET_PROFILE)
+        rows["daemon"][size] = (
+            RWCP_TO_UCD.transfer_s(nbytes)
+            + O2_CLIENT.costs.decompress_s(px)
+            + px * 3 / O2_CLIENT.local_display_bandwidth_Bps
+            + O2_CLIENT.display_overhead_s
+        )
+    return rows
+
+
+def test_fig11_japan_route(benchmark):
+    rows = benchmark.pedantic(frame_times, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 11: overall time per frame, RWCP (Japan) -> UCD, 64 procs (s)",
+        "",
+        fmt_row("image size", [f"{s}^2" for s in IMAGE_SIZES]),
+        fmt_row("X display", [rows["x"][s] for s in IMAGE_SIZES], prec=2),
+        fmt_row("display daemon", [rows["daemon"][s] for s in IMAGE_SIZES], prec=3),
+        fmt_row(
+            "X Japan/NASA ratio",
+            [rows["x"][s] / rows["x_nasa"][s] for s in IMAGE_SIZES],
+            prec=2,
+        ),
+    ]
+    emit("fig11_japan", lines)
+
+    for size in (256, 512, 1024):
+        ratio = rows["x"][size] / rows["x_nasa"][size]
+        assert 1.4 < ratio < 2.6, (size, ratio)  # "almost twice longer"
+    for size in IMAGE_SIZES:
+        assert rows["daemon"][size] < 3.0  # "a few seconds per frame"
+        assert rows["daemon"][size] < rows["x"][size]

@@ -1,0 +1,68 @@
+"""Figure 6 — overall execution time vs number of partitions L.
+
+Paper setup: first 128 time steps of the turbulent jet, 256x256 output
+images, RWCP PC cluster, P in {16, 32, 64}, L swept over powers of two
+(log-scaled x axis).  Claim: "An optimal partition does exist and it is
+four for all three processor sizes 16, 32, and 64."
+"""
+
+from _util import emit, fmt_row
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.core.partitioning import candidate_partitions
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+PROCS = (16, 32, 64)
+N_STEPS = 128
+
+
+def sweep_overall_times() -> dict[int, dict[int, float]]:
+    out: dict[int, dict[int, float]] = {}
+    for procs in PROCS:
+        out[procs] = {}
+        for l_groups in candidate_partitions(procs):
+            result = simulate_pipeline(
+                PipelineConfig(
+                    n_procs=procs,
+                    n_groups=l_groups,
+                    n_steps=N_STEPS,
+                    profile=JET_PROFILE,
+                    machine=RWCP_CLUSTER,
+                    image_size=(256, 256),
+                    transport="store",
+                )
+            )
+            out[procs][l_groups] = result.overall_time
+    return out
+
+
+def test_fig6_overall_vs_partitions(benchmark):
+    sweep = benchmark.pedantic(sweep_overall_times, rounds=1, iterations=1)
+
+    all_ls = sorted({l for row in sweep.values() for l in row})
+    lines = [
+        "Figure 6: overall execution time (s) vs number of partitions L",
+        "(turbulent jet, 128 steps, 256x256 images, RWCP PC cluster)",
+        "",
+        fmt_row("P \\ L", all_ls),
+    ]
+    for procs in PROCS:
+        lines.append(
+            fmt_row(
+                f"P={procs}",
+                [sweep[procs].get(l, float("nan")) for l in all_ls],
+                prec=1,
+            )
+        )
+    best = {p: min(sweep[p], key=sweep[p].get) for p in PROCS}
+    lines.append("")
+    lines.append(f"optimal L per machine size: {best}")
+    lines.append("paper: optimum L = 4 for P in {16, 32, 64}")
+    emit("fig6_partitions", lines)
+
+    # Shape assertions (the paper's claim)
+    for procs in PROCS:
+        assert best[procs] == 4, sweep[procs]
+        assert sweep[procs][4] < sweep[procs][1]
+        assert sweep[procs][4] < sweep[procs][procs]

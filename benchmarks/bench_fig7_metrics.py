@@ -1,0 +1,64 @@
+"""Figure 7 — the three §3 metrics vs degree of partitioning, P = 32.
+
+Paper claims: start-up latency "monotonically increases with the number
+of partitions since fewer processors are dedicated to the rendering of a
+single data volume"; inter-frame delay "exhibits a somewhat similar curve
+as that associated with overall execution time".
+"""
+
+import numpy as np
+from _util import emit, fmt_row
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+PROCS = 32
+LS = (1, 2, 4, 8, 16, 32)
+
+
+def sweep_metrics():
+    out = {}
+    for l_groups in LS:
+        m = simulate_pipeline(
+            PipelineConfig(
+                n_procs=PROCS,
+                n_groups=l_groups,
+                n_steps=128,
+                profile=JET_PROFILE,
+                machine=RWCP_CLUSTER,
+                image_size=(256, 256),
+                transport="store",
+            )
+        ).metrics
+        out[l_groups] = (
+            m.start_up_latency,
+            m.overall_time,
+            m.inter_frame_delay,
+        )
+    return out
+
+
+def test_fig7_three_metrics(benchmark):
+    sweep = benchmark.pedantic(sweep_metrics, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 7: performance metrics vs number of partitions (P = 32)",
+        "(turbulent jet, 128 steps, 256x256 images, RWCP PC cluster)",
+        "",
+        fmt_row("L", list(LS)),
+        fmt_row("start-up latency (s)", [sweep[l][0] for l in LS], prec=2),
+        fmt_row("overall time (s)", [sweep[l][1] for l in LS], prec=1),
+        fmt_row("inter-frame delay (s)", [sweep[l][2] for l in LS], prec=3),
+    ]
+    emit("fig7_metrics", lines)
+
+    startups = [sweep[l][0] for l in LS]
+    overall = np.array([sweep[l][1] for l in LS])
+    inter = np.array([sweep[l][2] for l in LS])
+    # start-up latency monotonically increases with L
+    assert all(a < b for a, b in zip(startups, startups[1:]))
+    # inter-frame delay tracks overall time
+    assert np.corrcoef(overall, inter)[0, 1] > 0.95
+    # overall time has its optimum at L=4
+    assert min(LS, key=lambda l: sweep[l][1]) == 4

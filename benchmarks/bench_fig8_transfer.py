@@ -1,0 +1,56 @@
+"""Figure 8 — time to send one frame NASA Ames → UC Davis.
+
+X-Window (raw 24-bit pixels) vs the compression-based display daemon
+(JPEG+LZO payloads + client decompression), for four image sizes, using
+the calibrated route/client models.  Claim: "as the image size increases,
+the benefit of using compression becomes even more dramatic."
+"""
+
+from _util import IMAGE_SIZES, emit, fmt_row
+
+from repro.net import XDisplayModel
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+
+def frame_times():
+    x_model = XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+    costs = NASA_O2K.costs
+    rows = {"x": {}, "daemon": {}}
+    for size in IMAGE_SIZES:
+        px = size * size
+        rows["x"][size] = x_model.frame_time_s(px)
+        nbytes = costs.compressed_frame_bytes(px, JET_PROFILE)
+        rows["daemon"][size] = (
+            NASA_TO_UCD.transfer_s(nbytes)
+            + O2_CLIENT.costs.decompress_s(px)
+            + px * 3 / O2_CLIENT.local_display_bandwidth_Bps
+            + O2_CLIENT.display_overhead_s
+        )
+    return rows
+
+
+def test_fig8_frame_transfer_times(benchmark):
+    rows = benchmark.pedantic(frame_times, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 8: time to send one frame NASA Ames -> UC Davis (s)",
+        "",
+        fmt_row("image size", [f"{s}^2" for s in IMAGE_SIZES]),
+        fmt_row("X display", [rows["x"][s] for s in IMAGE_SIZES], prec=2),
+        fmt_row("display daemon", [rows["daemon"][s] for s in IMAGE_SIZES], prec=3),
+        fmt_row(
+            "speedup",
+            [rows["x"][s] / rows["daemon"][s] for s in IMAGE_SIZES],
+            prec=1,
+        ),
+    ]
+    emit("fig8_transfer", lines)
+
+    speedups = [rows["x"][s] / rows["daemon"][s] for s in IMAGE_SIZES]
+    # compression always wins, and wins more as frames grow
+    assert all(s > 1 for s in speedups)
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    # daemon keeps every size under ~2 s; X blows past 30 s at 1024²
+    assert rows["daemon"][1024] < 2.0
+    assert rows["x"][1024] > 30.0

@@ -1,0 +1,76 @@
+"""Figure 9 — render vs display time breakdown per frame, 16 procs O2K.
+
+Top chart (X): "The display time in this case can take as much as the
+rendering time."  Bottom chart (daemon): "the frame rates are dominated
+by the rendering but the image transmission."  We rebuild both charts by
+running the pipeline simulation on the NASA Origin 2000 with 16
+processors across the four image sizes.
+"""
+
+from _util import IMAGE_SIZES, emit, fmt_row
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+
+def breakdown():
+    out = {}
+    for transport in ("x", "daemon"):
+        out[transport] = {}
+        for size in IMAGE_SIZES:
+            result = simulate_pipeline(
+                PipelineConfig(
+                    n_procs=16,
+                    n_groups=4,
+                    n_steps=24,
+                    profile=JET_PROFILE,
+                    machine=NASA_O2K,
+                    image_size=(size, size),
+                    transport=transport,
+                    route=NASA_TO_UCD,
+                    client=O2_CLIENT,
+                )
+            ).metrics
+            out[transport][size] = (
+                result.mean_render_seconds,
+                result.mean_display_seconds,
+            )
+    return out
+
+
+def test_fig9_render_vs_display(benchmark):
+    data = benchmark.pedantic(breakdown, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 9: per-frame render vs display breakdown, 16 procs O2K (s)",
+        "",
+    ]
+    for transport, title in (("x", "X display"), ("daemon", "display daemon")):
+        lines.append(f"--- {title} ---")
+        lines.append(fmt_row("image size", [f"{s}^2" for s in IMAGE_SIZES]))
+        lines.append(
+            fmt_row(
+                "render time",
+                [data[transport][s][0] for s in IMAGE_SIZES],
+                prec=2,
+            )
+        )
+        lines.append(
+            fmt_row(
+                "display time",
+                [data[transport][s][1] for s in IMAGE_SIZES],
+                prec=2,
+            )
+        )
+        lines.append("")
+    emit("fig9_breakdown", lines)
+
+    # X: display rivals or exceeds rendering from 256² upward
+    for size in (256, 512, 1024):
+        render, display = data["x"][size]
+        assert display > 0.7 * render, (size, render, display)
+    # daemon: rendering dominates at every size
+    for size in IMAGE_SIZES:
+        render, display = data["daemon"][size]
+        assert display < render, (size, render, display)

@@ -1,0 +1,71 @@
+"""Scalability study — the companion paper [15]'s experimental framing.
+
+Strong scaling (128 jet steps on 1..64 RWCP processors, each point at
+its own best L), weak scaling (2 steps per processor), and the per-L
+bottleneck attribution that explains Figure 6's optimum.
+"""
+
+from _util import emit, fmt_row
+
+from repro.core import bottleneck_report, strong_scaling, weak_scaling
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+def run_study():
+    strong = strong_scaling(
+        RWCP_CLUSTER,
+        JET_PROFILE,
+        proc_counts=(1, 2, 4, 8, 16, 32, 64),
+        n_steps=64,
+    )
+    weak = weak_scaling(
+        RWCP_CLUSTER, JET_PROFILE, proc_counts=(4, 8, 16, 32, 64)
+    )
+    bottlenecks = bottleneck_report(RWCP_CLUSTER, JET_PROFILE, n_procs=64)
+    return strong, weak, bottlenecks
+
+
+def test_scalability_study(benchmark):
+    strong, weak, bottlenecks = benchmark.pedantic(
+        run_study, rounds=1, iterations=1
+    )
+
+    lines = ["Scalability study (turbulent jet, 256x256, RWCP cluster)", ""]
+    lines.append("strong scaling (64 steps):")
+    lines.append(
+        fmt_row("P", [p.n_procs for p in strong])
+    )
+    lines.append(fmt_row("best L", [p.best_partition for p in strong]))
+    lines.append(fmt_row("overall (s)", [p.overall_time for p in strong], prec=1))
+    lines.append(fmt_row("speedup", [p.speedup for p in strong], prec=2))
+    lines.append(
+        fmt_row("efficiency %", [p.efficiency * 100 for p in strong], prec=1)
+    )
+    lines.append("")
+    lines.append("weak scaling (2 steps per processor):")
+    lines.append(fmt_row("P", [p.n_procs for p in weak]))
+    lines.append(fmt_row("overall (s)", [p.overall_time for p in weak], prec=1))
+    lines.append(
+        fmt_row("efficiency %", [p.efficiency * 100 for p in weak], prec=1)
+    )
+    lines.append("")
+    lines.append("bottleneck per L (P=64, s/frame demanded of each stage):")
+    ls = sorted(bottlenecks)
+    lines.append(fmt_row("L", ls))
+    for stage in ("render", "storage", "output"):
+        lines.append(
+            fmt_row(stage, [bottlenecks[l][stage] for l in ls], prec=3)
+        )
+    emit("scalability", lines)
+
+    # shape assertions
+    speedups = [p.speedup for p in strong]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert strong[-1].efficiency > 0.5
+    weak_times = [p.overall_time for p in weak]
+    assert max(weak_times) / min(weak_times) < 1.6
+    # the Figure 6 mechanism: render-bound at L=1, storage-bound at L=32
+    row1, row32 = bottlenecks[1], bottlenecks[32]
+    assert row1["render"] > row1["storage"]
+    assert row32["storage"] > row32["render"]

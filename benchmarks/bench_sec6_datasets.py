@@ -1,0 +1,74 @@
+"""§6 dataset contrasts — vortex and mixing behaviour at 512².
+
+Vortex: "For images of 512² pixels or larger, the image transport/display
+time (0.325 seconds) is in fact longer than the rendering time (0.178
+seconds)."  Mixing: "while a 512x512 image would take about 4 seconds to
+generate, the image transport time is only one tenth of the rendering
+time."  Also: real vortex frames compress worse than jet frames.
+"""
+
+from _util import emit, fmt_row
+
+from repro.compress import get_codec
+from repro.core import PartitionPlan, PerformanceModel
+from repro.sim.cluster import O2_CLIENT, RWCP_CLUSTER, RWCP_TO_UCD
+from repro.sim.costs import JET_PROFILE, MIXING_PROFILE, VORTEX_PROFILE
+
+PLAN = PartitionPlan(64, 4)
+PIXELS = 512 * 512
+
+
+def stage_times():
+    out = {}
+    for name, profile in (
+        ("jet", JET_PROFILE),
+        ("vortex", VORTEX_PROFILE),
+        ("mixing", MIXING_PROFILE),
+    ):
+        model = PerformanceModel(
+            machine=RWCP_CLUSTER,
+            profile=profile,
+            pixels=PIXELS,
+            transport="daemon",
+            route=RWCP_TO_UCD,
+            client=O2_CLIENT,
+        )
+        render_per_frame = model.render_s(PLAN.group_size) / PLAN.n_groups
+        transport = model.output_shared_s() + model.client_s()
+        out[name] = (render_per_frame, transport)
+    return out
+
+
+def test_sec6_dataset_contrasts(benchmark, jet_frames, vortex_frame):
+    times = benchmark.pedantic(stage_times, rounds=1, iterations=1)
+
+    codec = get_codec("jpeg+lzo")
+    jet_256 = jet_frames[256]
+    jet_bytes = len(codec.encode_image(jet_256))
+    vortex_bytes = len(codec.encode_image(vortex_frame))
+
+    lines = [
+        "Section 6 dataset contrasts at 512x512 (RWCP -> UCD, P=64, L=4)",
+        "",
+        fmt_row("dataset", ["render/frame", "transport"]),
+    ]
+    for name in ("jet", "vortex", "mixing"):
+        lines.append(fmt_row(name, list(times[name]), prec=3))
+    lines += [
+        "",
+        f"paper vortex: render 0.178 s, transport/display 0.325 s",
+        f"paper mixing: render ~4 s/volume, transport ~1/10 of render",
+        "",
+        f"real 256x256 JPEG+LZO payloads: jet {jet_bytes} B, "
+        f"vortex {vortex_bytes} B "
+        "(vortex frames 'cannot be compressed as well')",
+    ]
+    emit("sec6_datasets", lines)
+
+    v_render, v_transport = times["vortex"]
+    assert v_transport > v_render  # transport-bound
+    m_render_frame, m_transport = times["mixing"]
+    m_render_volume = m_render_frame * PLAN.n_groups
+    assert m_transport < m_render_volume / 4  # render-bound
+    assert 2.0 < m_render_volume < 8.0  # "about 4 seconds"
+    assert vortex_bytes > jet_bytes

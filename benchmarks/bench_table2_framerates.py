@@ -1,0 +1,67 @@
+"""Table 2 — actual frame rates (fps) from NASA Ames to UC Davis.
+
+X Window row vs compression row at the four image sizes.  Rates measure
+the display path (transfer + client handling) with rendering hidden
+behind the daemon's image buffer, which is how the paper's display-side
+measurement works.
+"""
+
+from _util import IMAGE_SIZES, emit, fmt_row
+
+from repro.net import XDisplayModel
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+PAPER = {
+    "x": {128: 7.7, 256: 0.5, 512: 0.1, 1024: 0.03},
+    "compression": {128: 9.0, 256: 5.6, 512: 2.4, 1024: 0.7},
+}
+
+
+def frame_rates():
+    x_model = XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+    costs = NASA_O2K.costs
+    rates = {"x": {}, "compression": {}}
+    for size in IMAGE_SIZES:
+        px = size * size
+        rates["x"][size] = x_model.frame_rate(px)
+        nbytes = costs.compressed_frame_bytes(px, JET_PROFILE)
+        t = (
+            NASA_TO_UCD.transfer_s(nbytes)
+            + O2_CLIENT.costs.decompress_s(px)
+            + px * 3 / O2_CLIENT.local_display_bandwidth_Bps
+            + O2_CLIENT.display_overhead_s
+        )
+        rates["compression"][size] = 1.0 / t
+    return rates
+
+
+def test_table2_frame_rates(benchmark):
+    rates = benchmark.pedantic(frame_rates, rounds=1, iterations=1)
+
+    lines = [
+        "Table 2: actual frame rates NASA Ames -> UC Davis (fps)",
+        "(measured | paper)",
+        "",
+        fmt_row("method \\ size", [f"{s}^2" for s in IMAGE_SIZES]),
+    ]
+    for method in ("x", "compression"):
+        lines.append(
+            fmt_row(
+                "X Window" if method == "x" else "Compression",
+                [
+                    f"{rates[method][s]:.2f}|{PAPER[method][s]}"
+                    for s in IMAGE_SIZES
+                ],
+                width=14,
+            )
+        )
+    emit("table2_framerates", lines)
+
+    for method in ("x", "compression"):
+        for size in IMAGE_SIZES:
+            got = rates[method][size]
+            expected = PAPER[method][size]
+            assert expected / 2 <= got <= expected * 2, (method, size, got)
+    # compression sustains near-interactive rates where X collapses
+    assert rates["compression"][512] > 20 * rates["x"][512]

@@ -1,0 +1,59 @@
+"""Session fixtures for the benchmark harness: real rendered jet frames."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _util import image_sizes  # noqa: E402
+
+from repro.data import turbulent_jet, turbulent_vortex  # noqa: E402
+from repro.render import (  # noqa: E402
+    Camera,
+    TransferFunction,
+    render_volume,
+    to_display_rgb,
+)
+
+
+@pytest.fixture(scope="session")
+def jet_volume_full():
+    """One full-resolution (129x129x104) turbulent-jet time step."""
+    return turbulent_jet().volume(40)
+
+
+@pytest.fixture(scope="session")
+def jet_frames(jet_volume_full):
+    """Real rendered jet frames at the paper's image sizes (uint8 RGB)."""
+    tf = TransferFunction.jet()
+    frames = {}
+    for size in image_sizes():
+        cam = Camera(image_size=(size, size))
+        frames[size] = to_display_rgb(render_volume(jet_volume_full, tf, cam))
+    return frames
+
+
+@pytest.fixture(scope="session")
+def vortex_frame():
+    """A 256² rendering of the (scaled) turbulent-vortex dataset."""
+    ds = turbulent_vortex(scale=0.5, n_steps=4)
+    cam = Camera(image_size=(256, 256))
+    rgba = render_volume(ds.volume(2), TransferFunction.vortex(), cam)
+    return to_display_rgb(rgba)
+
+
+@pytest.fixture(scope="session")
+def jet_animation():
+    """A short sequence of consecutive full-res jet frames at 256²."""
+    ds = turbulent_jet()
+    tf = TransferFunction.jet()
+    cam = Camera(image_size=(256, 256))
+    return [
+        to_display_rgb(render_volume(ds.volume(t), tf, cam))
+        for t in range(40, 44)
+    ]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Partition tuning: find the optimal processor grouping for a machine.
+
+Reproduces the paper's Figure 6/7 methodology as a user-facing workflow:
+given a machine, a dataset and an image size, sweep the number of
+processor groups L with both the O(1) analytic model and the
+discrete-event simulation, print the three §3 metrics, and report the
+recommended partitioning.
+
+Run:  python examples/partition_tuning.py [n_procs]
+"""
+
+import sys
+
+from repro import PartitionPlan, PerformanceModel, PipelineConfig, simulate_pipeline
+from repro.core.partitioning import candidate_partitions
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+def main(n_procs: int = 64) -> None:
+    n_steps = 128
+    pixels = 256 * 256
+    model = PerformanceModel(
+        machine=RWCP_CLUSTER, profile=JET_PROFILE, pixels=pixels
+    )
+
+    print(
+        f"machine: {RWCP_CLUSTER.name}  P={n_procs}  "
+        f"dataset: {JET_PROFILE.name}  steps={n_steps}  image=256x256\n"
+    )
+    header = (
+        f"{'L':>4} {'kind':>14} {'model overall':>14} {'sim overall':>12} "
+        f"{'startup':>9} {'inter-frame':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    best_l, best_overall = None, float("inf")
+    for l_groups in candidate_partitions(n_procs):
+        plan = PartitionPlan(n_procs, l_groups)
+        predicted = model.predict(plan, n_steps)
+        simulated = simulate_pipeline(
+            PipelineConfig(
+                n_procs=n_procs,
+                n_groups=l_groups,
+                n_steps=n_steps,
+                profile=JET_PROFILE,
+                machine=RWCP_CLUSTER,
+                image_size=(256, 256),
+            )
+        ).metrics
+        print(
+            f"{l_groups:>4} {plan.kind:>14} {predicted.overall_time:>13.1f}s "
+            f"{simulated.overall_time:>11.1f}s {simulated.start_up_latency:>8.2f}s "
+            f"{simulated.inter_frame_delay:>11.3f}s"
+        )
+        if simulated.overall_time < best_overall:
+            best_l, best_overall = l_groups, simulated.overall_time
+
+    plan = PartitionPlan(n_procs, best_l)
+    print(
+        f"\nrecommended partitioning: L={best_l} groups of "
+        f"{plan.group_size} processors ({best_overall:.1f}s overall; "
+        f"the paper found L=4 optimal for P in 16/32/64)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

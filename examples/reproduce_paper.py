@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""One-command paper reproduction: every table and figure, one report.
+
+Runs the same computations the benchmark harness locks in CI — Figure 6,
+Figure 7, Table 1, Figure 8, Table 2, Figure 9, Figure 10, Figure 11 and
+the §6 dataset contrasts — prints each artifact, and finishes with a
+pipeline timeline so the paper's core idea is visible at a glance.
+
+Run:  python examples/reproduce_paper.py          (full, a few minutes)
+      REPRO_BENCH_FAST=1 python examples/reproduce_paper.py  (capped sizes)
+"""
+
+import os
+import sys
+from pathlib import Path
+
+# reuse the benchmark implementations directly
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from _util import IMAGE_SIZES, image_sizes  # noqa: E402
+
+from repro.compress import get_codec, percent_reduction  # noqa: E402
+from repro.core import (  # noqa: E402
+    PipelineConfig,
+    render_timeline,
+    simulate_pipeline,
+)
+from repro.data import turbulent_jet  # noqa: E402
+from repro.net import XDisplayModel  # noqa: E402
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb  # noqa: E402
+from repro.sim.cluster import (  # noqa: E402
+    NASA_O2K,
+    NASA_TO_UCD,
+    O2_CLIENT,
+    RWCP_CLUSTER,
+    RWCP_TO_UCD,
+)
+from repro.sim.costs import JET_PROFILE  # noqa: E402
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def figure6() -> None:
+    banner("Figure 6 — overall time vs partitions (paper: optimum L=4)")
+    for procs in (16, 32, 64):
+        row = {}
+        for l_groups in (1, 2, 4, 8, 16, 32, 64):
+            if l_groups > procs:
+                break
+            row[l_groups] = simulate_pipeline(
+                PipelineConfig(
+                    n_procs=procs, n_groups=l_groups, n_steps=128,
+                    profile=JET_PROFILE, machine=RWCP_CLUSTER,
+                    image_size=(256, 256),
+                )
+            ).overall_time
+        best = min(row, key=row.get)
+        cells = "  ".join(f"L={l}:{t:7.1f}s" for l, t in row.items())
+        print(f"P={procs:3d}  {cells}   -> best L={best}")
+
+
+def figure7() -> None:
+    banner("Figure 7 — the three metrics vs partitions, P=32")
+    print(f"{'L':>4} {'startup':>9} {'overall':>9} {'inter-frame':>12}")
+    for l_groups in (1, 2, 4, 8, 16, 32):
+        m = simulate_pipeline(
+            PipelineConfig(
+                n_procs=32, n_groups=l_groups, n_steps=128,
+                profile=JET_PROFILE, machine=RWCP_CLUSTER,
+                image_size=(256, 256),
+            )
+        ).metrics
+        print(
+            f"{l_groups:>4} {m.start_up_latency:>8.2f}s {m.overall_time:>8.1f}s "
+            f"{m.inter_frame_delay:>11.3f}s"
+        )
+
+
+def table1() -> None:
+    banner("Table 1 — compressed image sizes (real codecs on real frames)")
+    volume = turbulent_jet().volume(40)
+    tf = TransferFunction.jet()
+    paper = {
+        "lzo": [16666, 63386, 235045, 848090],
+        "bzip": [12743, 44867, 152492, 482787],
+        "jpeg": [1509, 3310, 9184, 28764],
+        "jpeg+lzo": [1282, 2667, 6705, 18484],
+    }
+    sizes = image_sizes()
+    frames = {
+        s: to_display_rgb(
+            render_volume(volume, tf, Camera(image_size=(s, s)))
+        )
+        for s in sizes
+    }
+    header = "".join(f"{f'{s}^2':>18}" for s in sizes)
+    print(f"{'method':>10}{header}")
+    raw_cells = "".join(f"{frames[s].nbytes:>18}" for s in sizes)
+    print(f"{'raw':>10}{raw_cells}")
+    for method in ("lzo", "bzip", "jpeg", "jpeg+lzo"):
+        codec = get_codec(method)
+        cells = ""
+        for i, s in enumerate(sizes):
+            measured = len(codec.encode_image(frames[s]))
+            cells += f"{f'{measured}|{paper[method][i]}':>18}"
+        print(f"{method:>10}{cells}   (measured|paper)")
+    jl = get_codec("jpeg+lzo")
+    worst = min(
+        percent_reduction(frames[s].nbytes, len(jl.encode_image(frames[s])))
+        for s in sizes
+    )
+    print(f"JPEG+LZO reduction vs raw: >= {worst:.1f}%  (paper: '96% and up')")
+
+
+def table2_and_fig8() -> None:
+    banner("Table 2 / Figure 8 — X vs compression, NASA Ames -> UC Davis")
+    x = XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+    paper_x = {128: 7.7, 256: 0.5, 512: 0.1, 1024: 0.03}
+    paper_c = {128: 9.0, 256: 5.6, 512: 2.4, 1024: 0.7}
+    print(f"{'size':>7} {'X fps (paper)':>16} {'daemon fps (paper)':>20}")
+    for s in IMAGE_SIZES:
+        px = s * s
+        nbytes = NASA_O2K.costs.compressed_frame_bytes(px, JET_PROFILE)
+        ct = (
+            NASA_TO_UCD.transfer_s(nbytes)
+            + O2_CLIENT.costs.decompress_s(px)
+            + px * 3 / O2_CLIENT.local_display_bandwidth_Bps
+            + O2_CLIENT.display_overhead_s
+        )
+        print(
+            f"{s:>5}^2 {x.frame_rate(px):>8.2f} ({paper_x[s]:>4}) "
+            f"{1 / ct:>12.2f} ({paper_c[s]:>4})"
+        )
+
+
+def figure10() -> None:
+    banner("Figure 10 — decompressing N sub-images of a 512^2 frame (O2 model)")
+    for n in (1, 2, 4, 8, 16, 32, 64):
+        t = O2_CLIENT.costs.decompress_s(512 * 512, n)
+        bar = "#" * int(t * 400)
+        print(f"{n:>3} pieces  {t:6.3f}s  {bar}")
+
+
+def figure11() -> None:
+    banner("Figure 11 — Japan -> UC Davis (paper: X 'almost twice longer')")
+    x_jp = XDisplayModel(route=RWCP_TO_UCD, client=O2_CLIENT)
+    x_us = XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+    for s in IMAGE_SIZES:
+        px = s * s
+        nbytes = RWCP_CLUSTER.costs.compressed_frame_bytes(px, JET_PROFILE)
+        daemon = RWCP_TO_UCD.transfer_s(nbytes) + O2_CLIENT.costs.decompress_s(px)
+        print(
+            f"{s:>5}^2  X: {x_jp.frame_time_s(px):7.2f}s "
+            f"(vs NASA {x_us.frame_time_s(px):6.2f}s, "
+            f"x{x_jp.frame_time_s(px) / x_us.frame_time_s(px):.2f})   "
+            f"daemon: {daemon:6.3f}s"
+        )
+
+
+def timeline() -> None:
+    banner("The core idea — the pipelined schedule itself (P=32, L=4)")
+    result = simulate_pipeline(
+        PipelineConfig(
+            n_procs=32, n_groups=4, n_steps=24,
+            profile=JET_PROFILE, machine=RWCP_CLUSTER,
+            image_size=(256, 256),
+        )
+    )
+    print(render_timeline(result, width=96))
+
+
+def main() -> None:
+    print("Reproducing: Ma & Camp, 'High Performance Visualization of")
+    print("Time-Varying Volume Data over a Wide-Area Network' (SC 2000)")
+    if os.environ.get("REPRO_BENCH_FAST"):
+        print("(REPRO_BENCH_FAST set: image sizes capped at 512^2)")
+    figure6()
+    figure7()
+    table1()
+    table2_and_fig8()
+    figure10()
+    figure11()
+    timeline()
+    print("\nSee EXPERIMENTS.md for the full paper-vs-measured record.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""TCP deployment: renderer, daemon, and display as separate peers.
+
+The paper's Figure 2 shows three programs on three machines — compute
+nodes, an image-assembling/daemon host, and the remote user's
+workstation.  This example runs that topology over real localhost
+sockets: the daemon listens on a TCP port, a renderer peer and a display
+peer dial in, frames flow forward and a view-change control flows back.
+
+Run:  python examples/tcp_deployment.py
+"""
+
+import threading
+import time
+
+from repro.daemon import DisplayInterface, RendererInterface
+from repro.daemon.tcp import TcpDaemonServer, connect_daemon
+from repro.data import turbulent_jet
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+
+
+def renderer_program(address, n_frames):
+    """The compute-side program: render, compress, ship."""
+    renderer = RendererInterface(
+        connection=connect_daemon(address, "renderer", name="o2k-render"),
+        codec="jpeg+lzo",
+    )
+    dataset = turbulent_jet(scale=0.35, n_steps=n_frames + 1)
+    camera = Camera(image_size=(96, 96))
+    tf = TransferFunction.jet()
+    for t in range(n_frames):
+        view = renderer.pending_view()
+        if view is not None:
+            camera = camera.with_view(**view)
+            print(f"  [renderer] applied remote view change: {view}")
+        renderer.drain_controls()
+        frame = to_display_rgb(render_volume(dataset.volume(t), tf, camera))
+        nbytes = renderer.send_frame(frame, time_step=t)
+        print(f"  [renderer] step {t}: shipped {nbytes} B")
+    renderer.close()
+
+
+def main() -> None:
+    n_frames = 5
+    with TcpDaemonServer() as server:
+        host, port = server.address
+        print(f"display daemon listening on {host}:{port}")
+
+        render_thread = threading.Thread(
+            target=renderer_program, args=(server.address, n_frames)
+        )
+        render_thread.start()
+
+        display = DisplayInterface(
+            connection=connect_daemon(server.address, "display", name="ucd-o2")
+        )
+        for k in range(n_frames):
+            frame = display.next_frame(timeout=30)
+            print(
+                f"[display] received step {frame.time_step}: "
+                f"{frame.image.shape[0]}x{frame.image.shape[1]}, "
+                f"{frame.payload_bytes} B on the wire"
+            )
+            if k == 1:  # the remote user rotates the view mid-animation
+                display.set_view(azimuth=140, elevation=40)
+                print("[display] sent view change (azimuth=140)")
+                time.sleep(0.1)
+        render_thread.join(timeout=30)
+        display.close()
+    print("session complete: frames forward, control back, over real TCP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package in this offline environment (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — reproduction of Ma & Camp, SC 2000.
+
+"High Performance Visualization of Time-Varying Volume Data over a
+Wide-Area Network": pipelined parallel volume rendering with processor
+grouping, plus compression-based remote image transport.
+
+Quickstart::
+
+    from repro import turbulent_jet, RemoteVisualizationSession, Camera
+
+    dataset = turbulent_jet(scale=0.3, n_steps=8)
+    with RemoteVisualizationSession(dataset, group_size=4) as session:
+        report = session.run()
+    print(report.metrics.summary())
+
+Subpackages
+-----------
+- :mod:`repro.core` — the paper's contribution: partitioned pipelined
+  rendering and the end-to-end remote visualization session.
+- :mod:`repro.data` — synthetic time-varying volume datasets.
+- :mod:`repro.render` — parallel ray-casting volume renderer substrate.
+- :mod:`repro.compress` — LZO / BZIP / JPEG codecs and combinations.
+- :mod:`repro.machine` — in-process SPMD message-passing runtime.
+- :mod:`repro.sim` — discrete-event simulator for timing experiments.
+- :mod:`repro.net` — WAN/LAN link models and the X-display baseline.
+- :mod:`repro.daemon` — display daemon image-transport framework.
+"""
+
+from repro.compress import available_codecs, get_codec
+from repro.core import (
+    PartitionPlan,
+    PerformanceModel,
+    PipelineConfig,
+    RemoteVisualizationSession,
+    RenderingMetrics,
+    candidate_partitions,
+    simulate_pipeline,
+)
+from repro.data import shock_mixing, turbulent_jet, turbulent_vortex
+from repro.render import Camera, RayCaster, TransferFunction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "available_codecs",
+    "get_codec",
+    "PartitionPlan",
+    "candidate_partitions",
+    "PerformanceModel",
+    "PipelineConfig",
+    "simulate_pipeline",
+    "RemoteVisualizationSession",
+    "RenderingMetrics",
+    "turbulent_jet",
+    "turbulent_vortex",
+    "shock_mixing",
+    "Camera",
+    "RayCaster",
+    "TransferFunction",
+    "__version__",
+]

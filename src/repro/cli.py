@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows a user of the paper's system would run:
+
+- ``render``    one time step of a dataset to a PPM image;
+- ``animate``   a remote session over a step range (frames to a directory);
+- ``partition`` sweep the processor grouping L (Figure 6/7 workflow);
+- ``codecs``    compare codecs on a rendered frame (Table 1 workflow);
+- ``simulate``  one pipeline configuration on a modeled machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compress import available_codecs, get_codec, percent_reduction, psnr
+from repro.core import (
+    PartitionPlan,
+    PerformanceModel,
+    PipelineConfig,
+    RemoteVisualizationSession,
+    candidate_partitions,
+    simulate_pipeline,
+)
+from repro.data import DATASET_REGISTRY, get_dataset
+from repro.net import get_route
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+from repro.render.ppm import write_ppm
+from repro.sim.cluster import NASA_O2K, O2_CLIENT, RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE, MIXING_PROFILE, VORTEX_PROFILE
+
+__all__ = ["main", "build_parser"]
+
+_MACHINES = {"rwcp": RWCP_CLUSTER, "o2k": NASA_O2K}
+_PROFILES = {
+    "turbulent-jet": JET_PROFILE,
+    "turbulent-vortex": VORTEX_PROFILE,
+    "shock-mixing": MIXING_PROFILE,
+}
+_TFS = {
+    "jet": TransferFunction.jet,
+    "vortex": TransferFunction.vortex,
+    "mixing": TransferFunction.mixing,
+    "gray": TransferFunction.grayscale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Remote time-varying volume visualization (Ma & Camp, SC 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p):
+        p.add_argument(
+            "--dataset", default="turbulent-jet", choices=sorted(DATASET_REGISTRY)
+        )
+        p.add_argument("--scale", type=float, default=0.4,
+                       help="grid scale factor (1.0 = paper size)")
+        p.add_argument("--tf", default=None, choices=sorted(_TFS),
+                       help="transfer function (default: match dataset)")
+        p.add_argument("--size", type=int, default=256, help="image size (square)")
+        p.add_argument("--azimuth", type=float, default=30.0)
+        p.add_argument("--elevation", type=float, default=20.0)
+
+    p = sub.add_parser("render", help="render one time step to a PPM file")
+    add_dataset_args(p)
+    p.add_argument("--step", type=int, default=0)
+    p.add_argument("--output", default="frame.ppm")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("animate", help="run a remote session over a step range")
+    add_dataset_args(p)
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--group-size", type=int, default=4)
+    p.add_argument("--codec", default="jpeg+lzo", choices=available_codecs())
+    p.add_argument("--pieces", type=int, default=1, help="parallel-compression pieces")
+    p.add_argument("--output-dir", default=None,
+                   help="write received frames as PPMs to this directory")
+    p.set_defaults(func=cmd_animate)
+
+    p = sub.add_parser("partition", help="sweep processor groupings (Fig 6/7)")
+    p.add_argument("--machine", default="rwcp", choices=sorted(_MACHINES))
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--steps", type=int, default=128)
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--profile", default="turbulent-jet", choices=sorted(_PROFILES))
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("codecs", help="compare codecs on a rendered frame (Table 1)")
+    add_dataset_args(p)
+    p.add_argument("--step", type=int, default=0)
+    p.set_defaults(func=cmd_codecs)
+
+    p = sub.add_parser("simulate", help="simulate one pipeline configuration")
+    p.add_argument("--machine", default="rwcp", choices=sorted(_MACHINES))
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--groups", type=int, default=4)
+    p.add_argument("--steps", type=int, default=128)
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--profile", default="turbulent-jet", choices=sorted(_PROFILES))
+    p.add_argument("--transport", default="store", choices=["store", "x", "daemon"])
+    p.add_argument("--route", default="nasa-ucd")
+    p.add_argument("--io-servers", type=int, default=1)
+    p.add_argument("--timeline", action="store_true",
+                   help="print the ASCII schedule after the metrics")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "autotune",
+        help="pick (L, pieces, quality) for a target frame rate",
+    )
+    p.add_argument("--machine", default="o2k", choices=sorted(_MACHINES))
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--profile", default="turbulent-jet", choices=sorted(_PROFILES))
+    p.add_argument("--route", default="nasa-ucd")
+    p.add_argument("--target-fps", type=float, default=5.0)
+    p.set_defaults(func=cmd_autotune)
+
+    return parser
+
+
+def _default_tf(args) -> TransferFunction:
+    if args.tf is not None:
+        return _TFS[args.tf]()
+    by_dataset = {
+        "turbulent-jet": TransferFunction.jet,
+        "turbulent-vortex": TransferFunction.vortex,
+        "shock-mixing": TransferFunction.mixing,
+    }
+    return by_dataset[args.dataset]()
+
+
+def cmd_render(args) -> int:
+    dataset = get_dataset(args.dataset, scale=args.scale)
+    cam = Camera(
+        image_size=(args.size, args.size),
+        azimuth=args.azimuth,
+        elevation=args.elevation,
+    )
+    volume = dataset.volume(args.step)
+    frame = to_display_rgb(render_volume(volume, _default_tf(args), cam))
+    write_ppm(args.output, frame)
+    print(f"wrote {args.output}: step {args.step} of {dataset.name}, "
+          f"{args.size}x{args.size}")
+    return 0
+
+
+def cmd_animate(args) -> int:
+    dataset = get_dataset(args.dataset, scale=args.scale, n_steps=args.steps)
+    out_dir = Path(args.output_dir) if args.output_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    with RemoteVisualizationSession(
+        dataset,
+        group_size=args.group_size,
+        camera=Camera(
+            image_size=(args.size, args.size),
+            azimuth=args.azimuth,
+            elevation=args.elevation,
+        ),
+        tf=_default_tf(args),
+        codec=args.codec,
+        n_pieces=args.pieces,
+    ) as session:
+        def sink(frame):
+            if out_dir:
+                write_ppm(out_dir / f"frame_{frame.time_step:04d}.ppm", frame.image)
+
+        report = session.run(on_frame=sink)
+    raw = report.raw_bytes_per_frame
+    for frame, payload in zip(report.frames, report.payload_bytes):
+        print(f"step {frame.time_step:4d}: {payload:8d} B "
+              f"({percent_reduction(raw, payload):5.1f}% reduction)")
+    print(report.metrics.summary())
+    return 0
+
+
+def cmd_partition(args) -> int:
+    machine = _MACHINES[args.machine]
+    model = PerformanceModel(
+        machine=machine, profile=_PROFILES[args.profile], pixels=args.size**2
+    )
+    print(f"{'L':>4} {'kind':>14} {'overall':>10} {'startup':>9} {'inter':>8}")
+    best_l, best = None, float("inf")
+    for l_groups in candidate_partitions(args.procs):
+        m = model.predict(PartitionPlan(args.procs, l_groups), args.steps)
+        print(
+            f"{l_groups:>4} {PartitionPlan(args.procs, l_groups).kind:>14} "
+            f"{m.overall_time:>9.1f}s {m.start_up_latency:>8.2f}s "
+            f"{m.inter_frame_delay:>7.3f}s"
+        )
+        if m.overall_time < best:
+            best_l, best = l_groups, m.overall_time
+    print(f"\nrecommended: L={best_l} ({best:.1f}s overall)")
+    return 0
+
+
+def cmd_codecs(args) -> int:
+    dataset = get_dataset(args.dataset, scale=args.scale)
+    cam = Camera(
+        image_size=(args.size, args.size),
+        azimuth=args.azimuth,
+        elevation=args.elevation,
+    )
+    frame = to_display_rgb(
+        render_volume(dataset.volume(args.step), _default_tf(args), cam)
+    )
+    print(f"{'method':>10} {'bytes':>9} {'reduction':>10} {'quality':>9}")
+    for method in ("raw", "rle", "lzo", "deflate", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"):
+        codec = get_codec(method)
+        payload = codec.encode_image(frame)
+        q = psnr(frame, codec.decode_image(payload))
+        q_str = "lossless" if q == float("inf") else f"{q:6.1f}dB"
+        print(
+            f"{method:>10} {len(payload):>9} "
+            f"{percent_reduction(frame.nbytes, len(payload)):>9.1f}% {q_str:>9}"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    machine = _MACHINES[args.machine]
+    config = PipelineConfig(
+        n_procs=args.procs,
+        n_groups=args.groups,
+        n_steps=args.steps,
+        profile=_PROFILES[args.profile],
+        machine=machine,
+        image_size=(args.size, args.size),
+        transport=args.transport,
+        route=get_route(args.route) if args.transport != "store" else None,
+        client=O2_CLIENT if args.transport != "store" else None,
+        io_servers=args.io_servers,
+    )
+    result = simulate_pipeline(config)
+    m = result.metrics
+    print(f"machine        : {machine.name} (P={args.procs}, L={args.groups})")
+    print(f"transport      : {args.transport}")
+    print(f"start-up       : {m.start_up_latency:.2f} s")
+    print(f"overall        : {m.overall_time:.2f} s")
+    print(f"inter-frame    : {m.inter_frame_delay:.3f} s ({m.frame_rate:.2f} fps)")
+    print(f"storage busy   : {result.storage_utilization * 100:.0f}%")
+    print(f"output busy    : {result.output_utilization * 100:.0f}%")
+    if args.timeline:
+        from repro.core import render_timeline
+
+        print()
+        print(render_timeline(result, width=100))
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    from repro.core import autotune
+
+    cfg = autotune(
+        _MACHINES[args.machine],
+        _PROFILES[args.profile],
+        get_route(args.route),
+        O2_CLIENT,
+        n_procs=args.procs,
+        image_size=(args.size, args.size),
+        target_fps=args.target_fps,
+    )
+    verdict = "meets" if cfg.meets_target else "CANNOT meet"
+    print(f"target         : {args.target_fps:.1f} fps at {args.size}x{args.size}")
+    print(f"recommendation : L={cfg.n_groups} pieces={cfg.n_pieces} "
+          f"quality={cfg.quality}")
+    print(f"predicted      : {cfg.predicted_fps:.2f} fps "
+          f"(startup {cfg.predicted_startup_s:.2f}s) -> {verdict} the target")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Image and byte-stream compression substrate.
+
+The paper's image-output stage depends on three codecs — LZO (fast
+LZ77-family lossless), BZIP (Burrows-Wheeler block-sorting lossless) and
+baseline JPEG (lossy transform coding) — plus their two-phase combinations
+``JPEG+LZO`` and ``JPEG+BZIP`` (Table 1).  All of them are implemented here
+from scratch on top of shared bit-I/O and entropy-coding primitives.
+
+Public entry points:
+
+- :class:`~repro.compress.base.Codec` — the codec interface.
+- :func:`~repro.compress.base.get_codec` / ``register_codec`` — registry
+  keyed by the names the paper uses (``"raw"``, ``"lzo"``, ``"bzip"``,
+  ``"jpeg"``, ``"jpeg+lzo"``, ``"jpeg+bzip"``).
+- :mod:`~repro.compress.metrics` — compression ratio and PSNR helpers.
+"""
+
+from repro.compress.base import (
+    Codec,
+    CodecError,
+    LosslessCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.compress.rle import RLECodec
+from repro.compress.lzo import LZOCodec
+from repro.compress.bzip import BZIPCodec
+from repro.compress.deflate import DeflateCodec
+from repro.compress.jpeg import JPEGCodec
+from repro.compress.two_phase import TwoPhaseCodec
+from repro.compress.framediff import FrameDifferencingCodec
+from repro.compress.metrics import compression_ratio, percent_reduction, psnr
+from repro.compress.analysis import (
+    estimate_compressed_bytes,
+    frame_statistics,
+    pixel_coverage,
+    shannon_entropy_bits,
+)
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "LosslessCodec",
+    "RLECodec",
+    "LZOCodec",
+    "BZIPCodec",
+    "DeflateCodec",
+    "JPEGCodec",
+    "TwoPhaseCodec",
+    "FrameDifferencingCodec",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "compression_ratio",
+    "percent_reduction",
+    "pixel_coverage",
+    "shannon_entropy_bits",
+    "estimate_compressed_bytes",
+    "frame_statistics",
+    "psnr",
+]

@@ -1,0 +1,83 @@
+"""Vectorized bit-stream packing for the entropy coders.
+
+Huffman and JPEG entropy coding emit, per symbol, a variable-length code.
+Packing millions of such codes one bit at a time in Python would dominate
+compression cost, so this module packs *arrays* of ``(value, bit-length)``
+pairs in a handful of NumPy passes (MSB-first, the conventional order for
+Huffman streams), and exposes a sliding-window view used by the table-driven
+decoder in :mod:`repro.compress.huffman`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_values", "unpack_bits", "sliding_code_windows", "bits_to_bytes"]
+
+MAX_CODE_BITS = 32
+
+
+def pack_values(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Pack ``values[i]`` into ``lengths[i]`` bits each, MSB-first.
+
+    Returns ``(payload, nbits)`` where ``payload`` is the packed bytes
+    (zero-padded to a byte boundary) and ``nbits`` the exact bit count.
+    Values must fit in their declared lengths; zero-length entries are
+    permitted and contribute nothing.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if values.shape != lengths.shape:
+        raise ValueError("values and lengths must have the same shape")
+    if lengths.size == 0:
+        return b"", 0
+    if lengths.min() < 0 or lengths.max() > MAX_CODE_BITS:
+        raise ValueError(f"bit lengths must be in [0, {MAX_CODE_BITS}]")
+
+    ends = np.cumsum(lengths)
+    total = int(ends[-1])
+    if total == 0:
+        return b"", 0
+    starts = ends - lengths
+
+    # Map every output bit to its source element, then to the bit offset
+    # inside that element's code (MSB first).
+    bitpos = np.arange(total, dtype=np.int64)
+    elem = np.searchsorted(ends, bitpos, side="right")
+    shift = (lengths[elem] - 1 - (bitpos - starts[elem])).astype(np.uint64)
+    bits = ((values[elem] >> shift) & np.uint64(1)).astype(np.uint8)
+    return bits_to_bytes(bits), total
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 ``uint8`` array into bytes, MSB-first, zero padded."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes()
+
+
+def unpack_bits(payload: bytes, nbits: int) -> np.ndarray:
+    """Unpack ``payload`` into the first ``nbits`` bits as a 0/1 array."""
+    if nbits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    if bits.size < nbits:
+        raise ValueError(f"payload holds {bits.size} bits, need {nbits}")
+    return bits[:nbits]
+
+
+def sliding_code_windows(bits: np.ndarray, width: int) -> np.ndarray:
+    """Value of ``bits[i : i+width]`` (MSB-first) for every start ``i``.
+
+    The table-driven Huffman decoder peeks ``width`` bits at a time; this
+    precomputes all peeks in one vectorized pass.  Positions within
+    ``width-1`` of the end read zero-padding, matching a decoder that pads
+    its bit reservoir with zeros.
+    """
+    if width < 1 or width > MAX_CODE_BITS:
+        raise ValueError(f"width must be in [1, {MAX_CODE_BITS}]")
+    n = bits.size
+    padded = np.zeros(n + width - 1, dtype=np.uint32)
+    padded[:n] = bits
+    windows = np.zeros(n, dtype=np.uint32)
+    for k in range(width):
+        windows |= padded[k : k + n] << np.uint32(width - 1 - k)
+    return windows

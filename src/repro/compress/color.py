@@ -1,0 +1,63 @@
+"""Color-space conversion and chroma resampling for the JPEG codec.
+
+Baseline JPEG operates on full-range BT.601 YCbCr; subsampling chroma 2:1
+in both directions (4:2:0) exploits exactly the perceptual asymmetry the
+paper cites — "small color changes are perceived less accurately than small
+changes in brightness".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "downsample_420",
+    "upsample_420",
+    "pad_to_multiple",
+]
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """``(H, W, 3) uint8`` RGB → ``(H, W, 3) float32`` full-range YCbCr."""
+    rgb = rgb.astype(np.float32)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """``(H, W, 3) float`` YCbCr → ``(H, W, 3) uint8`` RGB (clipped)."""
+    y = ycc[..., 0]
+    cb = ycc[..., 1] - 128.0
+    cr = ycc[..., 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def downsample_420(plane: np.ndarray) -> np.ndarray:
+    """Average 2×2 pixel blocks (plane is padded to even dims first)."""
+    p = pad_to_multiple(plane, 2)
+    return 0.25 * (p[0::2, 0::2] + p[0::2, 1::2] + p[1::2, 0::2] + p[1::2, 1::2])
+
+
+def upsample_420(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour 2× upsample, cropped to ``out_shape``."""
+    up = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    return up[: out_shape[0], : out_shape[1]]
+
+
+def pad_to_multiple(plane: np.ndarray, multiple: int) -> np.ndarray:
+    """Edge-replicate pad both dims up to the next ``multiple``."""
+    h, w = plane.shape
+    ph = (-h) % multiple
+    pw = (-w) % multiple
+    if ph == 0 and pw == 0:
+        return plane
+    return np.pad(plane, ((0, ph), (0, pw)), mode="edge")

@@ -1,0 +1,252 @@
+"""GZIP-class codec: LZ77 parsing + canonical Huffman entropy coding.
+
+§4.2 positions BZIP against gzip: "BZIP has very good lossless
+compression, better than gzip in compression and decompression time …
+Compression is generally considerably better than that achieved by more
+conventional LZ77/LZ78-based compressors."  This codec is that
+conventional comparator, built from the library's own parts: the LZO
+match finder's token stream, re-coded with two canonical Huffman tables
+(literal/length and distance) in the spirit of DEFLATE — not
+bit-compatible with RFC 1951, but the same algorithmic family and the
+same ratio/speed regime.
+
+Token model:
+
+- literal byte  → symbol 0..255 in the lit/len alphabet;
+- match         → symbol 256 + length_bucket (length 3..258 in 16
+  buckets, log-spaced) with extra bits, then a distance bucket symbol
+  (16 log-spaced buckets over 1..65535) with extra bits;
+- symbol 256 + 16 = end of stream.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compress.base import CodecError, LosslessCodec, register_codec
+from repro.compress.bitio import sliding_code_windows, unpack_bits
+from repro.compress.huffman import HuffmanCode, build_code
+from repro.compress.lzo import LZOCodec
+
+__all__ = ["DeflateCodec"]
+
+_MAGIC = b"RDFL"
+_MIN_MATCH = 3
+_N_BUCKETS = 16
+_LITERALS = 256
+_EOS = _LITERALS + _N_BUCKETS  # end-of-stream symbol
+_LITLEN_ALPHABET = _LITERALS + _N_BUCKETS + 1
+_WINDOW = 16
+
+
+def _make_buckets(max_value: int, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Log-spaced bucket bases and extra-bit counts covering 0..max_value.
+
+    The first half of the buckets have width 1 (exact small values, the
+    common case for runs and near distances); widths then double, DEFLATE
+    style; the last bucket absorbs the remainder of the range.
+    """
+    bases = [0]
+    span = 1
+    while len(bases) <= n:
+        bases.append(bases[-1] + span)
+        if len(bases) > n // 2:
+            span *= 2
+    bases_arr = np.asarray(bases[:n], dtype=np.int64)
+    bits_arr = np.zeros(n, dtype=np.int64)
+    for i in range(n - 1):
+        width = int(bases_arr[i + 1] - bases_arr[i])
+        bits_arr[i] = max(width - 1, 0).bit_length()
+    bits_arr[n - 1] = max(int(max_value - bases_arr[n - 1]), 0).bit_length()
+    return bases_arr, bits_arr
+
+
+_LEN_BASES, _LEN_BITS = _make_buckets(258 - _MIN_MATCH, _N_BUCKETS)
+_DIST_BASES, _DIST_BITS = _make_buckets(65535 - 1, _N_BUCKETS)
+
+
+def _bucket_of(value: int, bases: np.ndarray) -> int:
+    return int(np.searchsorted(bases, value, side="right")) - 1
+
+
+class DeflateCodec(LosslessCodec):
+    """LZ77 + Huffman codec (the conventional gzip-family comparator).
+
+    ``level`` forwards to the LZ match finder (1 fast .. 9 tight).
+    """
+
+    name = "deflate"
+
+    def __init__(self, level: int = 6):
+        self._lz = LZOCodec(level=level)
+        self.level = level
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        tokens = self._tokenize(self._lz.encode(data))
+        symbols: list[int] = []
+        extra_vals: list[int] = []
+        extra_bits: list[int] = []
+        dist_symbols: list[int] = []
+
+        stream: list[tuple[int, int, int, int, int]] = []
+        # (litlen_sym, len_extra, len_bits, dist_sym(-1 none), dist_extra/bits packed later)
+        for kind, a, b in tokens:
+            if kind == 0:  # literal byte a
+                stream.append((a, 0, 0, -1, 0))
+            else:  # match: a = length, b = distance
+                lb = _bucket_of(a - _MIN_MATCH, _LEN_BASES)
+                db = _bucket_of(b - 1, _DIST_BASES)
+                stream.append(
+                    (
+                        _LITERALS + lb,
+                        (a - _MIN_MATCH) - int(_LEN_BASES[lb]),
+                        int(_LEN_BITS[lb]),
+                        db,
+                        (b - 1) - int(_DIST_BASES[db]),
+                    )
+                )
+        stream.append((_EOS, 0, 0, -1, 0))
+
+        litlen_freq = np.zeros(_LITLEN_ALPHABET, dtype=np.int64)
+        dist_freq = np.zeros(_N_BUCKETS, dtype=np.int64)
+        for sym, _, _, dsym, _ in stream:
+            litlen_freq[sym] += 1
+            if dsym >= 0:
+                dist_freq[dsym] += 1
+        litlen_code = build_code(litlen_freq)
+        dist_code = build_code(dist_freq)
+
+        # interleave: litlen code, len extra, [dist code, dist extra]
+        values: list[int] = []
+        lengths: list[int] = []
+        for sym, lext, lbits, dsym, dext in stream:
+            values.append(int(litlen_code.codes[sym]))
+            lengths.append(int(litlen_code.lengths[sym]))
+            if lbits:
+                values.append(lext)
+                lengths.append(lbits)
+            if dsym >= 0:
+                values.append(int(dist_code.codes[dsym]))
+                lengths.append(int(dist_code.lengths[dsym]))
+                dbits = int(_DIST_BITS[dsym])
+                if dbits:
+                    values.append(dext)
+                    lengths.append(dbits)
+        from repro.compress.bitio import pack_values
+
+        payload, nbits = pack_values(
+            np.asarray(values, dtype=np.uint64), np.asarray(lengths)
+        )
+        return b"".join(
+            [
+                _MAGIC,
+                struct.pack("<IQ", len(data), nbits),
+                litlen_code.to_bytes(),
+                dist_code.to_bytes(),
+                payload,
+            ]
+        )
+
+    def _tokenize(self, lz_stream: bytes) -> list[tuple[int, int, int]]:
+        """Parse the LZO container back into (kind, a, b) tokens."""
+        (orig_len,) = struct.unpack_from("<I", lz_stream, 4)
+        tokens: list[tuple[int, int, int]] = []
+        i = 8
+        n = len(lz_stream)
+        produced = 0
+        while produced < orig_len:
+            flags = lz_stream[i]
+            i += 1
+            for bit in range(7, -1, -1):
+                if produced >= orig_len:
+                    break
+                if flags & (1 << bit):
+                    dist, lx = struct.unpack_from("<HB", lz_stream, i)
+                    i += 3
+                    tokens.append((1, lx + _MIN_MATCH, dist))
+                    produced += lx + _MIN_MATCH
+                else:
+                    tokens.append((0, lz_stream[i], 0))
+                    produced += 1
+                    i += 1
+        return tokens
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, payload: bytes) -> bytes:
+        if len(payload) < 16 or payload[:4] != _MAGIC:
+            raise CodecError("deflate: bad or truncated header")
+        orig_len, nbits = struct.unpack_from("<IQ", payload, 4)
+        offset = 16
+        litlen_code, offset = HuffmanCode.from_bytes(payload, offset)
+        dist_code, offset = HuffmanCode.from_bytes(payload, offset)
+        if nbits > 8 * (len(payload) - offset):
+            raise CodecError("deflate: bit count exceeds payload")
+        bits = unpack_bits(payload[offset:], int(nbits))
+        win = sliding_code_windows(bits, _WINDOW)
+        ll_sym, ll_len, ll_width = litlen_code.decode_tables()
+        d_sym, d_len, d_width = dist_code.decode_tables()
+        ll_shift = _WINDOW - ll_width
+        d_shift = _WINDOW - d_width
+
+        out = bytearray()
+        pos = 0
+        limit = int(nbits)
+        while True:
+            if pos >= limit:
+                raise CodecError("deflate: bit stream exhausted")
+            w = int(win[pos]) >> ll_shift
+            ln = int(ll_len[w])
+            if ln == 0:
+                raise CodecError("deflate: invalid lit/len code")
+            sym = int(ll_sym[w])
+            pos += ln
+            if sym == _EOS:
+                break
+            if sym < _LITERALS:
+                out.append(sym)
+                continue
+            bucket = sym - _LITERALS
+            lbits = int(_LEN_BITS[bucket])
+            extra = 0
+            if lbits:
+                if pos >= limit:
+                    raise CodecError("deflate: bit stream exhausted (len)")
+                extra = int(win[pos]) >> (_WINDOW - lbits)
+                pos += lbits
+            length = _MIN_MATCH + int(_LEN_BASES[bucket]) + extra
+            if pos >= limit:
+                raise CodecError("deflate: bit stream exhausted (dist)")
+            w = int(win[pos]) >> d_shift
+            dln = int(d_len[w])
+            if dln == 0:
+                raise CodecError("deflate: invalid distance code")
+            dbucket = int(d_sym[w])
+            pos += dln
+            dbits = int(_DIST_BITS[dbucket])
+            dextra = 0
+            if dbits:
+                if pos >= limit:
+                    raise CodecError("deflate: bit stream exhausted (dextra)")
+                dextra = int(win[pos]) >> (_WINDOW - dbits)
+                pos += dbits
+            dist = 1 + int(_DIST_BASES[dbucket]) + dextra
+            src = len(out) - dist
+            if src < 0:
+                raise CodecError("deflate: distance before stream start")
+            if dist >= length:
+                out += out[src : src + length]
+            else:
+                window = bytes(out[src:])
+                reps = -(-length // dist)
+                out += (window * reps)[:length]
+        if len(out) != orig_len:
+            raise CodecError("deflate: length mismatch after decode")
+        return bytes(out)
+
+
+register_codec("deflate", lambda **kw: DeflateCodec(**kw))

@@ -1,0 +1,202 @@
+"""Canonical Huffman coding over ``uint16`` symbol alphabets.
+
+Used as the entropy-coding back end of both the BZIP pipeline
+(:mod:`repro.compress.bzip`) and the JPEG-style codec
+(:mod:`repro.compress.jpeg`).  Code construction is the classic two-queue
+Huffman algorithm with a frequency-flattening retry to enforce a maximum
+code length of :data:`MAX_BITS`, so the decoder can be a single
+``2**MAX_BITS``-entry lookup table; encoding and table construction are
+vectorized, decoding walks one table lookup per symbol.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.base import CodecError
+from repro.compress.bitio import pack_values, sliding_code_windows, unpack_bits
+
+__all__ = ["HuffmanCode", "build_code", "encode_symbols", "decode_symbols"]
+
+#: Longest permitted code, bounding decoder table size to 64 Ki entries.
+MAX_BITS = 16
+
+
+def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Code length per symbol for the given frequency table (0 = unused)."""
+    nz = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nz.size == 0:
+        return lengths
+    if nz.size == 1:
+        lengths[nz[0]] = 1
+        return lengths
+    # Heap of (weight, tiebreak, leaf-symbols). Merging whole leaf lists is
+    # fine at our alphabet sizes (<= ~64K symbols, typically <= 300).
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in nz
+    ]
+    heapq.heapify(heap)
+    tie = int(freqs.size)
+    while len(heap) > 1:
+        w1, _, l1 = heapq.heappop(heap)
+        w2, _, l2 = heapq.heappop(heap)
+        for s in l1:
+            lengths[s] += 1
+        for s in l2:
+            lengths[s] += 1
+        heapq.heappush(heap, (w1 + w2, tie, l1 + l2))
+        tie += 1
+    return lengths
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical code: per-symbol bit ``lengths`` and ``codes``."""
+
+    lengths: np.ndarray  # uint8, 0 for unused symbols
+    codes: np.ndarray  # uint32, canonical MSB-first codes
+
+    @property
+    def alphabet_size(self) -> int:
+        return self.lengths.size
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max(initial=0))
+
+    _LEN_FIELD_BITS = 5  # enough for MAX_BITS == 16
+
+    def to_bytes(self) -> bytes:
+        """Serialize as alphabet size + 5-bit-packed per-symbol lengths.
+
+        The dense packed form costs ``ceil(5·size/8)`` bytes — far below
+        the per-used-symbol record format for typical alphabets, which
+        matters because every compressed block/plane carries its tables.
+        """
+        from repro.compress.bitio import pack_values
+
+        packed, _ = pack_values(
+            self.lengths.astype(np.uint64),
+            np.full(self.lengths.size, self._LEN_FIELD_BITS, dtype=np.int64),
+        )
+        return struct.pack("<I", self.lengths.size) + packed
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, offset: int = 0) -> tuple["HuffmanCode", int]:
+        """Deserialize; returns the code and the offset past it."""
+        if len(payload) < offset + 4:
+            raise CodecError("huffman: truncated code table header")
+        (size,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        if size > 65536:
+            raise CodecError("huffman: implausible code table size")
+        nbytes = (size * cls._LEN_FIELD_BITS + 7) // 8
+        if len(payload) < offset + nbytes:
+            raise CodecError("huffman: truncated code table body")
+        buf = np.frombuffer(payload, dtype=np.uint8, count=nbytes, offset=offset)
+        bits = np.unpackbits(buf)[: size * cls._LEN_FIELD_BITS]
+        weights = 1 << np.arange(cls._LEN_FIELD_BITS - 1, -1, -1)
+        lengths = (
+            bits.reshape(size, cls._LEN_FIELD_BITS).astype(np.uint16) @ weights
+        ).astype(np.uint8)
+        if size and lengths.max(initial=0) > MAX_BITS:
+            raise CodecError("huffman: invalid code length in table")
+        return cls.from_lengths(lengths), offset + nbytes
+
+    @classmethod
+    def from_lengths(cls, lengths: np.ndarray) -> "HuffmanCode":
+        """Assign canonical codes (shorter first, then symbol order)."""
+        lengths = np.asarray(lengths, dtype=np.uint8)
+        codes = np.zeros(lengths.size, dtype=np.uint32)
+        code = 0
+        prev_len = 0
+        order = np.lexsort((np.arange(lengths.size), lengths))
+        for s in order:
+            ln = int(lengths[s])
+            if ln == 0:
+                continue
+            code <<= ln - prev_len
+            codes[s] = code
+            code += 1
+            prev_len = ln
+        if prev_len and code > (1 << prev_len):
+            raise CodecError("huffman: over-subscribed code lengths")
+        return cls(lengths=lengths, codes=codes)
+
+    def decode_tables(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """``(symbol, length)`` lookup tables indexed by a peeked window."""
+        width = max(self.max_length, 1)
+        lut_sym = np.zeros(1 << width, dtype=np.uint32)
+        lut_len = np.zeros(1 << width, dtype=np.uint32)
+        for s in np.flatnonzero(self.lengths):
+            ln = int(self.lengths[s])
+            base = int(self.codes[s]) << (width - ln)
+            span = 1 << (width - ln)
+            lut_sym[base : base + span] = s
+            lut_len[base : base + span] = ln
+        return lut_sym, lut_len, width
+
+
+def build_code(freqs: np.ndarray, max_bits: int = MAX_BITS) -> HuffmanCode:
+    """Build a canonical, length-limited code for ``freqs``.
+
+    Length limiting flattens the frequency distribution (halving with a
+    floor of 1) and rebuilds until the deepest code fits — a standard
+    zlib-style fallback that costs at most a few percent of optimality.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64).copy()
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be 1-D")
+    while True:
+        lengths = _huffman_lengths(freqs)
+        if lengths.max(initial=0) <= max_bits:
+            return HuffmanCode.from_lengths(lengths)
+        nz = freqs > 0
+        freqs[nz] = (freqs[nz] + 1) >> 1
+
+
+def encode_symbols(symbols: np.ndarray, code: HuffmanCode) -> tuple[bytes, int]:
+    """Encode a symbol array; returns ``(payload, nbits)``."""
+    symbols = np.asarray(symbols)
+    if symbols.size and (
+        symbols.min() < 0 or symbols.max() >= code.alphabet_size
+    ):
+        raise ValueError("symbol out of alphabet range")
+    if symbols.size and (code.lengths[symbols] == 0).any():
+        raise ValueError("symbol has no assigned code")
+    return pack_values(code.codes[symbols], code.lengths[symbols])
+
+
+def decode_symbols(
+    payload: bytes, nbits: int, count: int, code: HuffmanCode
+) -> np.ndarray:
+    """Decode exactly ``count`` symbols from a packed payload."""
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    bits = unpack_bits(payload, nbits)
+    lut_sym, lut_len, width = code.decode_tables()
+    windows = sliding_code_windows(bits, width)
+    out = np.empty(count, dtype=np.uint32)
+    pos = 0
+    limit = nbits
+    # Per-symbol loop: one table peek + one advance. Hot path — keep locals.
+    win = windows
+    lsym = lut_sym
+    llen = lut_len
+    for i in range(count):
+        if pos >= limit:
+            raise CodecError("huffman: bit stream exhausted")
+        w = win[pos]
+        ln = llen[w]
+        if ln == 0:
+            raise CodecError("huffman: invalid code word")
+        out[i] = lsym[w]
+        pos += ln
+    if pos > limit:
+        raise CodecError("huffman: bit stream overrun")
+    return out

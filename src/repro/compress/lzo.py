@@ -1,0 +1,215 @@
+"""LZO-style fast Lempel–Ziv codec.
+
+The paper picks LZO because it "offers fast compression and very fast
+decompression … favors speed over compression ratio".  This module
+implements a codec in the same family from scratch: byte-aligned LZSS with a
+hash-chain match finder and greedy parsing.  Like real LZO it has
+
+- *compression levels* — higher levels probe the hash chain deeper for a
+  better ratio at slower speed;
+- *allocation-free decompression* — the decoder needs only the output
+  buffer;
+- *byte-aligned output* — no bit I/O anywhere on the hot path.
+
+Stream format (after an 8-byte header of magic + original length): groups of
+a flag byte followed by eight items, MSB-first; flag bit 1 = match (2-byte
+little-endian distance ≥ 1, then 1 byte of length − 3), flag bit 0 = one
+literal byte.  Matches span 3..258 bytes and may overlap their source, which
+is what makes runs cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compress.base import CodecError, LosslessCodec, register_codec
+
+__all__ = ["LZOCodec"]
+
+_MAGIC = b"RLZO"
+_MIN_MATCH = 3
+_MAX_MATCH = 258
+_MAX_DIST = 65535
+_HASH_BITS = 17
+
+
+def _hash_all(arr: np.ndarray) -> np.ndarray:
+    """Fibonacci hash of every 4-byte window, one slot per position."""
+    if arr.size < 4:
+        return np.zeros(0, dtype=np.int64)
+    a = arr.astype(np.uint32)
+    vals = a[:-3] | (a[1:-2] << 8) | (a[2:-1] << 16) | (a[3:] << 24)
+    return ((vals * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)).astype(
+        np.int64
+    )
+
+
+class LZOCodec(LosslessCodec):
+    """Fast byte-aligned LZ77 codec.
+
+    Parameters
+    ----------
+    level:
+        1 (fastest, single hash probe — the default, matching LZO1X-1's
+        position in the speed/ratio space) through 9 (deepest chain search).
+    """
+
+    name = "lzo"
+
+    def __init__(self, level: int = 1):
+        if not 1 <= level <= 9:
+            raise ValueError("level must be in 1..9")
+        self.level = level
+        # Probes per position: 1 at level 1 up to 64 at level 9.
+        self._probes = 1 << ((level - 1) // 2 + (1 if level > 1 else 0))
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        n = len(data)
+        header = _MAGIC + struct.pack("<I", n)
+        if n < _MIN_MATCH + 1:
+            # Too short to ever match; emit all-literal groups.
+            return header + self._encode_all_literals(data)
+
+        arr = np.frombuffer(data, dtype=np.uint8)
+        hashes = _hash_all(arr)
+        head = np.full(1 << _HASH_BITS, -1, dtype=np.int64)
+        chain = np.full(n, -1, dtype=np.int64) if self._probes > 1 else None
+
+        out = bytearray()
+        flags = 0
+        nflags = 0
+        items = bytearray()
+        i = 0
+        hash_limit = hashes.size
+        probes = self._probes
+
+        def flush() -> None:
+            nonlocal flags, nflags
+            out.append(flags << (8 - nflags))
+            out.extend(items)
+            items.clear()
+            flags = 0
+            nflags = 0
+
+        while i < n:
+            best_len = 0
+            best_dist = 0
+            if i < hash_limit:
+                h = int(hashes[i])
+                cand = int(head[h])
+                tries = probes
+                max_len = min(_MAX_MATCH, n - i)
+                while cand >= 0 and tries > 0:
+                    # Run-ahead insertion (below) can leave positions >= i in
+                    # the table; they are not valid match sources yet.
+                    if cand < i:
+                        if i - cand > _MAX_DIST:
+                            break  # chain only gets older from here
+                        length = _match_length(data, cand, i, max_len)
+                        if length > best_len:
+                            best_len = length
+                            best_dist = i - cand
+                            if length >= max_len:
+                                break
+                    if chain is None:
+                        break
+                    cand = int(chain[cand])
+                    tries -= 1
+
+            if best_len >= _MIN_MATCH:
+                flags = (flags << 1) | 1
+                items += struct.pack("<HB", best_dist, best_len - _MIN_MATCH)
+                # Insert skipped positions into the dictionary (bounded so
+                # long runs stay O(1) per token at level 1).
+                insert_end = min(i + (best_len if probes > 1 else 8), hash_limit)
+                for j in range(i, insert_end):
+                    hj = int(hashes[j])
+                    if chain is not None:
+                        chain[j] = head[hj]
+                    head[hj] = j
+                i += best_len
+            else:
+                flags = flags << 1
+                items.append(data[i])
+                if i < hash_limit:
+                    if chain is not None:
+                        chain[i] = head[h]
+                    head[h] = i
+                i += 1
+            nflags += 1
+            if nflags == 8:
+                flush()
+        if nflags:
+            flush()
+        return header + bytes(out)
+
+    @staticmethod
+    def _encode_all_literals(data: bytes) -> bytes:
+        out = bytearray()
+        for start in range(0, len(data), 8):
+            chunk = data[start : start + 8]
+            out.append(0)
+            out += chunk
+        return bytes(out)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, payload: bytes) -> bytes:
+        if len(payload) < 8 or payload[:4] != _MAGIC:
+            raise CodecError("lzo: bad or truncated header")
+        (orig_len,) = struct.unpack_from("<I", payload, 4)
+        out = bytearray()
+        i = 8
+        n = len(payload)
+        while len(out) < orig_len:
+            if i >= n:
+                raise CodecError("lzo: truncated stream")
+            flags = payload[i]
+            i += 1
+            for bit in range(7, -1, -1):
+                if len(out) >= orig_len:
+                    break
+                if flags & (1 << bit):
+                    if i + 3 > n:
+                        raise CodecError("lzo: truncated match")
+                    dist, lx = struct.unpack_from("<HB", payload, i)
+                    i += 3
+                    length = lx + _MIN_MATCH
+                    src = len(out) - dist
+                    if src < 0 or dist == 0:
+                        raise CodecError("lzo: match distance out of range")
+                    if dist >= length:
+                        out += out[src : src + length]
+                    else:  # overlapping copy: replicate the window
+                        window = out[src:]
+                        reps = -(-length // dist)
+                        out += (bytes(window) * reps)[:length]
+                else:
+                    if i >= n:
+                        raise CodecError("lzo: truncated literal")
+                    out.append(payload[i])
+                    i += 1
+        if len(out) != orig_len:
+            raise CodecError("lzo: length mismatch after decode")
+        return bytes(out)
+
+
+def _match_length(data: bytes, src: int, dst: int, max_len: int) -> int:
+    """Longest common prefix of data[src:] and data[dst:], capped."""
+    length = 0
+    # Chunked comparison first (C-speed), then the byte tail.
+    while length + 16 <= max_len and (
+        data[src + length : src + length + 16]
+        == data[dst + length : dst + length + 16]
+    ):
+        length += 16
+    while length < max_len and data[src + length] == data[dst + length]:
+        length += 1
+    return length
+
+
+register_codec("lzo", lambda **kw: LZOCodec(**kw))

@@ -1,0 +1,34 @@
+"""Compression and image-fidelity metrics used throughout the benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "percent_reduction", "psnr"]
+
+
+def compression_ratio(original_size: int, compressed_size: int) -> float:
+    """Original bytes per compressed byte (>1 means the codec helped)."""
+    if compressed_size <= 0:
+        raise ValueError("compressed_size must be positive")
+    return original_size / compressed_size
+
+
+def percent_reduction(original_size: int, compressed_size: int) -> float:
+    """Size reduction in percent — the paper's "compression rates we have
+    achieved are 96% and up" metric."""
+    if original_size <= 0:
+        raise ValueError("original_size must be positive")
+    return 100.0 * (1.0 - compressed_size / original_size)
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    ref = np.asarray(reference, dtype=np.float64)
+    tst = np.asarray(test, dtype=np.float64)
+    if ref.shape != tst.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {tst.shape}")
+    mse = np.mean((ref - tst) ** 2)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)

@@ -1,0 +1,43 @@
+"""Move-to-front coding, the middle stage of the BZIP pipeline.
+
+After the Burrows–Wheeler sort, equal context bytes cluster, so MTF turns
+the block into a stream dominated by small values (mostly zeros), which the
+zero-run + Huffman back end then squeezes.  MTF is an inherently sequential
+recurrence over the alphabet list, so both directions are tight Python
+loops over C-backed lists.
+"""
+
+from __future__ import annotations
+
+from repro.compress.base import CodecError
+
+__all__ = ["mtf_forward", "mtf_inverse"]
+
+
+def mtf_forward(data: bytes) -> bytes:
+    """Replace each byte with its index in a move-to-front alphabet list."""
+    alphabet = list(range(256))
+    out = bytearray(len(data))
+    index = alphabet.index
+    for i, b in enumerate(data):
+        j = index(b)
+        out[i] = j
+        if j:
+            del alphabet[j]
+            alphabet.insert(0, b)
+    return bytes(out)
+
+
+def mtf_inverse(data: bytes) -> bytes:
+    """Invert :func:`mtf_forward`."""
+    alphabet = list(range(256))
+    out = bytearray(len(data))
+    for i, j in enumerate(data):
+        if j >= len(alphabet):
+            raise CodecError("mtf: index out of alphabet range")
+        b = alphabet[j]
+        out[i] = b
+        if j:
+            del alphabet[j]
+            alphabet.insert(0, b)
+    return bytes(out)

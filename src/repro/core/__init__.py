@@ -1,0 +1,64 @@
+"""The paper's contribution: pipelined, partitioned, remote visualization.
+
+- :mod:`~repro.core.partitioning` — carving P processors into L groups
+  (intra- vs inter-volume parallelism, §3);
+- :mod:`~repro.core.metrics` — the three §3 performance metrics:
+  start-up latency, overall execution time, inter-frame delay;
+- :mod:`~repro.core.performance_model` — the closed-form model of the
+  companion paper [15] predicting those metrics from (P, L);
+- :mod:`~repro.core.pipeline` — the discrete-event simulation of the full
+  four-stage pipeline (Figures 6–9, 11);
+- :mod:`~repro.core.remote_viz` — the *functional* end-to-end session:
+  real renderer → real compositing → real codecs → daemon → display.
+"""
+
+from repro.core.partitioning import PartitionPlan, candidate_partitions
+from repro.core.metrics import FrameRecord, RenderingMetrics
+from repro.core.performance_model import PerformanceModel, predict_metrics
+from repro.core.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.core.remote_viz import RemoteVisualizationSession, SessionReport
+from repro.core.preview import PreviewPlayer
+from repro.core.coprocess import CoprocessConfig, CoprocessResult, simulate_scenario
+from repro.core.timeline import render_timeline
+from repro.core.autotune import TunedConfiguration, autotune
+from repro.core.analysis import (
+    ScalingPoint,
+    bottleneck_report,
+    control_response_latency,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.core.subset_viewing import (
+    ClientSideRenderer,
+    pack_volume_subset,
+    unpack_volume_subset,
+)
+
+__all__ = [
+    "PartitionPlan",
+    "candidate_partitions",
+    "FrameRecord",
+    "RenderingMetrics",
+    "PerformanceModel",
+    "predict_metrics",
+    "PipelineConfig",
+    "PipelineResult",
+    "simulate_pipeline",
+    "RemoteVisualizationSession",
+    "SessionReport",
+    "PreviewPlayer",
+    "CoprocessConfig",
+    "CoprocessResult",
+    "simulate_scenario",
+    "ClientSideRenderer",
+    "pack_volume_subset",
+    "unpack_volume_subset",
+    "render_timeline",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "bottleneck_report",
+    "control_response_latency",
+    "TunedConfiguration",
+    "autotune",
+]

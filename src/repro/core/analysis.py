@@ -1,0 +1,197 @@
+"""Scalability analysis of the partitioned pipeline.
+
+The companion paper [15] characterizes processor management with an
+experimental study; this module packages that study as a reusable
+analysis: strong scaling (fixed workload, growing machine), weak scaling
+(workload grows with the machine), speedup/efficiency, and the
+bottleneck attribution that explains where the paper's optimum L=4 comes
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioning import PartitionPlan, candidate_partitions
+from repro.core.performance_model import PerformanceModel
+from repro.core.pipeline import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import MachineSpec, WanRoute
+from repro.sim.costs import DatasetProfile
+
+__all__ = [
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "bottleneck_report",
+    "control_response_latency",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One machine size in a scaling study."""
+
+    n_procs: int
+    best_partition: int
+    overall_time: float
+    speedup: float
+    efficiency: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P={self.n_procs:<4d} L*={self.best_partition:<3d} "
+            f"T={self.overall_time:8.1f}s  S={self.speedup:6.2f}  "
+            f"E={self.efficiency * 100:5.1f}%"
+        )
+
+
+def _best_partition(
+    n_procs: int,
+    n_steps: int,
+    profile: DatasetProfile,
+    machine: MachineSpec,
+    image_size: tuple[int, int],
+) -> tuple[int, float]:
+    best_l, best_t = 1, float("inf")
+    for l_groups in candidate_partitions(n_procs):
+        t = simulate_pipeline(
+            PipelineConfig(
+                n_procs=n_procs,
+                n_groups=l_groups,
+                n_steps=n_steps,
+                profile=profile,
+                machine=machine,
+                image_size=image_size,
+            )
+        ).overall_time
+        if t < best_t:
+            best_l, best_t = l_groups, t
+    return best_l, best_t
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    proc_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    n_steps: int = 64,
+    image_size: tuple[int, int] = (256, 256),
+) -> list[ScalingPoint]:
+    """Fixed workload, growing machine; each point uses its own best L.
+
+    Speedup is measured against the single-processor run; efficiency is
+    ``speedup / P``.
+    """
+    base = None
+    points = []
+    for procs in proc_counts:
+        best_l, t = _best_partition(procs, n_steps, profile, machine, image_size)
+        if base is None:
+            base = t
+        points.append(
+            ScalingPoint(
+                n_procs=procs,
+                best_partition=best_l,
+                overall_time=t,
+                speedup=base / t,
+                efficiency=base / t / procs * proc_counts[0],
+            )
+        )
+    return points
+
+
+def weak_scaling(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    proc_counts: tuple[int, ...] = (4, 8, 16, 32, 64),
+    steps_per_proc: int = 2,
+    image_size: tuple[int, int] = (256, 256),
+) -> list[ScalingPoint]:
+    """Workload grows with the machine (``steps_per_proc`` steps per
+    processor); perfect weak scaling keeps overall time flat."""
+    base = None
+    points = []
+    for procs in proc_counts:
+        best_l, t = _best_partition(
+            procs, steps_per_proc * procs, profile, machine, image_size
+        )
+        if base is None:
+            base = t
+        points.append(
+            ScalingPoint(
+                n_procs=procs,
+                best_partition=best_l,
+                overall_time=t,
+                speedup=base / t * (procs / proc_counts[0]),
+                efficiency=base / t,
+            )
+        )
+    return points
+
+
+def control_response_latency(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    n_procs: int,
+    n_groups: int,
+    image_size: tuple[int, int] = (256, 256),
+) -> float:
+    """Expected delay from a §5 user input to its first affected frame.
+
+    "The user inputs … are buffered and only affect the rendering of
+    following frames.  Depending on the level of change in focus and
+    context, certain delay is expected."  With L groups pipelining, a
+    control message lands while up to L volumes are already in flight
+    (one rendering per group); the first frame rendered *after* the
+    input appears roughly one group render-cycle later, plus the frames
+    already committed ahead of it in the in-order display stream.
+    """
+    plan = PartitionPlan(n_procs, n_groups)
+    model = PerformanceModel(
+        machine=machine,
+        profile=profile,
+        pixels=image_size[0] * image_size[1],
+    )
+    render = model.render_s(plan.group_size)
+    inter = max(render / n_groups, model.read_s(n_groups))
+    # on average half a render is pending on the receiving group, and
+    # L-1 already-committed frames display before the affected one
+    return 0.5 * render + (n_groups - 1) * inter + inter
+
+
+def bottleneck_report(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    n_procs: int,
+    n_steps: int = 64,
+    image_size: tuple[int, int] = (256, 256),
+    transport: str = "store",
+    route: WanRoute | None = None,
+    client: MachineSpec | None = None,
+) -> dict[int, dict[str, float]]:
+    """Per-L attribution of the steady-state bottleneck.
+
+    For every candidate L, reports the per-frame occupancy each shared
+    stage demands; the maximum entry is the pipeline's limiting stage —
+    "the performance of a pipeline is determined by its slowest stage".
+    """
+    model = PerformanceModel(
+        machine=machine,
+        profile=profile,
+        pixels=image_size[0] * image_size[1],
+        transport=transport,
+        route=route,
+        client=client,
+    )
+    out: dict[int, dict[str, float]] = {}
+    for l_groups in candidate_partitions(n_procs):
+        plan = PartitionPlan(n_procs, l_groups)
+        g = plan.group_size
+        per_frame = {
+            "render": (model.render_s(g) + model.compress_s()) / l_groups,
+            "storage": model.read_s(l_groups),
+            "output": model.output_shared_s(),
+            "client": model.client_s(),
+        }
+        per_frame["bottleneck"] = max(per_frame.values())
+        out[l_groups] = per_frame
+    return out

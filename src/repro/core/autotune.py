@@ -1,0 +1,126 @@
+"""Session auto-tuning: pick (L, pieces, quality) for a frame-rate target.
+
+The paper tunes its system by hand across Figures 6–11; a downstream
+user wants that closed loop automated: given a machine, a dataset, a WAN
+route, a client and a desired frame rate, search the configuration space
+with the analytic performance model (O(1) per candidate) and return the
+cheapest configuration that meets the target — or the fastest one if
+nothing does.
+
+Search space: partition count L (powers of two), parallel-compression
+piece count, and JPEG quality (which scales payload size ~linearly in
+our calibrated size model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioning import PartitionPlan, candidate_partitions
+from repro.core.performance_model import PerformanceModel
+from repro.sim.cluster import MachineSpec, WanRoute
+from repro.sim.costs import DatasetProfile
+
+__all__ = ["TunedConfiguration", "autotune"]
+
+#: quality ladder and its approximate payload scale relative to q=75
+_QUALITY_SCALE = {35: 0.45, 50: 0.62, 65: 0.82, 75: 1.0, 90: 1.6}
+
+
+@dataclass(frozen=True)
+class TunedConfiguration:
+    """The recommendation: configuration + its predicted behaviour."""
+
+    n_groups: int
+    n_pieces: int
+    quality: int
+    predicted_fps: float
+    predicted_startup_s: float
+    meets_target: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"L={self.n_groups} pieces={self.n_pieces} quality={self.quality} "
+            f"-> {self.predicted_fps:.2f} fps (startup {self.predicted_startup_s:.2f}s)"
+        )
+
+
+def autotune(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    route: WanRoute,
+    client: MachineSpec,
+    *,
+    n_procs: int,
+    image_size: tuple[int, int] = (256, 256),
+    target_fps: float = 5.0,
+    n_steps: int = 100,
+    piece_options: tuple[int, ...] = (1, 2, 4, 8),
+    quality_options: tuple[int, ...] = (90, 75, 65, 50, 35),
+) -> TunedConfiguration:
+    """Search (L, pieces, quality) for the target frame rate.
+
+    Preference order among configurations that meet the target: highest
+    quality first, then fewest pieces (simplest transport), then the
+    fewest groups (lowest start-up latency).  If no configuration meets
+    the target, the fastest one is returned with ``meets_target=False``.
+    """
+    if target_fps <= 0:
+        raise ValueError("target_fps must be positive")
+    pixels = image_size[0] * image_size[1]
+    best_meeting: tuple | None = None
+    fastest: tuple | None = None
+
+    for quality in quality_options:
+        scale = _QUALITY_SCALE[quality]
+        for pieces in piece_options:
+            model = PerformanceModel(
+                machine=machine,
+                profile=profile,
+                pixels=pixels,
+                transport="daemon",
+                route=route,
+                client=client,
+                n_pieces=pieces,
+            )
+            for l_groups in candidate_partitions(n_procs):
+                plan = PartitionPlan(n_procs, l_groups)
+                metrics = model.predict(plan, n_steps)
+                # rebuild the steady-state bottleneck with the payload
+                # size scaled by the quality setting (transfer is the
+                # only quality-dependent stage)
+                transfer = route.transfer_s(
+                    machine.costs.compressed_frame_bytes(pixels, profile, pieces)
+                    * scale
+                )
+                inter = max(
+                    (model.render_s(plan.group_size) + model.compress_s())
+                    / l_groups,
+                    model.input_s(l_groups, plan.group_size) / l_groups,
+                    model.read_s(l_groups),
+                    transfer,
+                    model.client_s(),
+                    1e-6,
+                )
+                fps = 1.0 / inter
+                candidate = (
+                    quality,
+                    -pieces,
+                    -l_groups,
+                    TunedConfiguration(
+                        n_groups=l_groups,
+                        n_pieces=pieces,
+                        quality=quality,
+                        predicted_fps=fps,
+                        predicted_startup_s=metrics.start_up_latency,
+                        meets_target=fps >= target_fps,
+                    ),
+                )
+                if fastest is None or fps > fastest[3].predicted_fps:
+                    fastest = candidate
+                if fps >= target_fps:
+                    if best_meeting is None or candidate[:3] > best_meeting[:3]:
+                        best_meeting = candidate
+    chosen = best_meeting if best_meeting is not None else fastest
+    assert chosen is not None
+    return chosen[3]

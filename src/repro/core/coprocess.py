@@ -1,0 +1,171 @@
+"""Runtime (co-processing) vs post-processing visualization — §1's choice.
+
+The paper motivates its post-processing design by arguing that runtime
+visualization, although attractive ("users receive immediate feedback …
+the visualization results can be stored rather than the much larger raw
+data"), is often unacceptable because it means "competing with the
+numerical simulation to perform visualization calculations for computing
+time and memory space on the same parallel supercomputer".
+
+This module quantifies that trade-off with the discrete-event engine.
+Three scenarios over the same machine and dataset:
+
+- ``postprocess`` — the paper's design: the simulation owns all P
+  processors; volumes go to mass storage; visualization happens later on
+  a viz partition (its cost reported separately, pipelined per
+  :mod:`repro.core.pipeline`).
+- ``coprocess-share`` — after every simulation step, rendering borrows
+  the whole machine (simulation stalls for the render).
+- ``coprocess-partition`` — a static split: P_sim processors simulate
+  while P_viz processors render each step as it appears.
+
+Outputs per scenario: simulation completion time, last-frame time, and
+the simulation slowdown factor relative to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import FrameRecord, RenderingMetrics
+from repro.sim.cluster import MachineSpec
+from repro.sim.costs import DatasetProfile
+from repro.sim.engine import Simulator
+from repro.sim.resources import Pipe
+
+__all__ = ["CoprocessConfig", "CoprocessResult", "simulate_scenario"]
+
+
+@dataclass(frozen=True)
+class CoprocessConfig:
+    """A runtime-visualization experiment.
+
+    ``sim_step_seconds`` is the simulation's own time per step when it
+    owns all ``n_procs`` processors; it scales inversely with the
+    processors actually granted (strong-scaling idealization, which
+    favors co-processing — the conclusion holds anyway).
+    """
+
+    n_procs: int
+    n_steps: int
+    profile: DatasetProfile
+    machine: MachineSpec
+    sim_step_seconds: float
+    image_size: tuple[int, int] = (256, 256)
+    viz_procs: int = 8  # partition size in 'coprocess-partition'
+
+    def __post_init__(self):
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self.sim_step_seconds <= 0:
+            raise ValueError("sim_step_seconds must be positive")
+        if not 1 <= self.viz_procs < self.n_procs:
+            raise ValueError("viz_procs must be in [1, n_procs)")
+
+    @property
+    def pixels(self) -> int:
+        return self.image_size[0] * self.image_size[1]
+
+
+@dataclass(frozen=True)
+class CoprocessResult:
+    scenario: str
+    simulation_time: float
+    simulation_slowdown: float
+    metrics: RenderingMetrics | None
+
+    @property
+    def last_frame_time(self) -> float:
+        return self.metrics.overall_time if self.metrics else float("nan")
+
+
+def _render_seconds(config: CoprocessConfig, procs: int) -> float:
+    costs = config.machine.costs
+    return costs.group_render_s(
+        config.profile, config.pixels, procs
+    ) + costs.composite_s(config.pixels, procs)
+
+
+def simulate_scenario(config: CoprocessConfig, scenario: str) -> CoprocessResult:
+    """Run one scenario; deterministic."""
+    baseline = config.n_steps * config.sim_step_seconds
+    if scenario == "postprocess":
+        # Simulation undisturbed; it only pays the volume dump to storage.
+        dump = config.machine.costs.volume_read_s(config.profile)
+        sim_time = config.n_steps * (config.sim_step_seconds + dump)
+        return CoprocessResult(
+            scenario=scenario,
+            simulation_time=sim_time,
+            simulation_slowdown=sim_time / baseline,
+            metrics=None,
+        )
+    if scenario == "coprocess-share":
+        # Simulation and rendering strictly alternate on all P procs.
+        render = _render_seconds(config, config.n_procs)
+        frames = []
+        now = 0.0
+        for t in range(config.n_steps):
+            now += config.sim_step_seconds
+            start = now
+            now += render
+            frames.append(
+                FrameRecord(
+                    time_step=t, group=0, render_start=start,
+                    render_end=now, displayed=now,
+                )
+            )
+        sim_time = now
+        return CoprocessResult(
+            scenario=scenario,
+            simulation_time=sim_time,
+            simulation_slowdown=sim_time / baseline,
+            metrics=RenderingMetrics.from_frames(frames),
+        )
+    if scenario == "coprocess-partition":
+        return _simulate_partitioned(config, baseline)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _simulate_partitioned(
+    config: CoprocessConfig, baseline: float
+) -> CoprocessResult:
+    """Static split: simulation slowed by its smaller share, renderer
+    pipelined on the viz partition (DES: the render stage can lag and
+    buffer behind a fast simulation)."""
+    sim = Simulator()
+    sim_procs = config.n_procs - config.viz_procs
+    step_s = config.sim_step_seconds * config.n_procs / sim_procs
+    render_s = _render_seconds(config, config.viz_procs)
+    handoff = Pipe(sim, capacity=2)  # small staging buffer in memory
+    frames: list[FrameRecord] = []
+    state = {"sim_done": 0.0}
+
+    def simulation():
+        for t in range(config.n_steps):
+            yield sim.timeout(step_s)
+            yield handoff.put((t, sim.now))
+        state["sim_done"] = sim.now
+
+    def renderer():
+        for _ in range(config.n_steps):
+            get = handoff.get()
+            yield get
+            t, _produced = get.value
+            start = sim.now
+            yield sim.timeout(render_s)
+            frames.append(
+                FrameRecord(
+                    time_step=t, group=0, render_start=start,
+                    render_end=sim.now, displayed=sim.now,
+                )
+            )
+
+    sim.process(simulation())
+    sim.process(renderer())
+    sim.run()
+    return CoprocessResult(
+        scenario="coprocess-partition",
+        simulation_time=state["sim_done"],
+        simulation_slowdown=state["sim_done"] / baseline,
+        metrics=RenderingMetrics.from_frames(frames),
+    )

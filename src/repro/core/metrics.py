@@ -1,0 +1,104 @@
+"""The three performance metrics of §3.
+
+"There are three potential performance metrics: **start-up latency**, the
+time until the rendered image of the first volume appears; **overall
+execution time**, the time until the rendered image of the last volume
+appears; and **inter-frame delay**, the average time between the
+appearance of consecutive rendered images."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FrameRecord", "RenderingMetrics"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Per-frame timeline of one time step through the pipeline.
+
+    Times are absolute (simulated or wall-clock) seconds; stages that did
+    not occur in a given configuration hold ``nan``.
+    """
+
+    time_step: int
+    group: int
+    read_start: float = float("nan")
+    read_end: float = float("nan")
+    render_start: float = float("nan")
+    render_end: float = float("nan")
+    output_start: float = float("nan")
+    displayed: float = float("nan")
+
+    @property
+    def render_seconds(self) -> float:
+        return self.render_end - self.render_start
+
+    @property
+    def display_seconds(self) -> float:
+        """Image-output time: everything after rendering completes."""
+        return self.displayed - self.render_end
+
+
+@dataclass(frozen=True)
+class RenderingMetrics:
+    """Aggregated metrics over a rendered sequence."""
+
+    start_up_latency: float
+    overall_time: float
+    inter_frame_delay: float
+    frames: tuple[FrameRecord, ...]
+
+    @classmethod
+    def from_frames(cls, frames: list[FrameRecord]) -> "RenderingMetrics":
+        """Compute the §3 metrics from per-frame display timestamps."""
+        if not frames:
+            raise ValueError("no frames")
+        ordered = sorted(frames, key=lambda f: f.time_step)
+        displayed = np.asarray([f.displayed for f in ordered])
+        if np.isnan(displayed).any():
+            raise ValueError("every frame needs a displayed timestamp")
+        start_up = float(displayed[0])
+        overall = float(displayed[-1])
+        if len(ordered) > 1:
+            inter = float(np.mean(np.diff(displayed)))
+        else:
+            inter = 0.0
+        return cls(
+            start_up_latency=start_up,
+            overall_time=overall,
+            inter_frame_delay=inter,
+            frames=tuple(ordered),
+        )
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def frame_rate(self) -> float:
+        """Sustained frames/second (inverse inter-frame delay)."""
+        if self.inter_frame_delay <= 0:
+            return float("inf")
+        return 1.0 / self.inter_frame_delay
+
+    @property
+    def mean_render_seconds(self) -> float:
+        vals = [f.render_seconds for f in self.frames]
+        return float(np.nanmean(vals))
+
+    @property
+    def mean_display_seconds(self) -> float:
+        vals = [f.display_seconds for f in self.frames]
+        return float(np.nanmean(vals))
+
+    def summary(self) -> str:
+        return (
+            f"frames={self.n_frames} start-up={self.start_up_latency:.3f}s "
+            f"overall={self.overall_time:.3f}s "
+            f"inter-frame={self.inter_frame_delay:.3f}s "
+            f"({self.frame_rate:.2f} fps)"
+        )

@@ -1,0 +1,109 @@
+"""Processor partitioning: P nodes into L groups (§3).
+
+"The third approach is thus a hybrid, in which P processor nodes are
+partitioned into L groups (1 < L < P), each of which renders one volume
+(i.e. one time step) at a time."  L = 1 degenerates to pure intra-volume
+parallelism, L = P to pure inter-volume parallelism; the two extremes are
+the paper's first and second approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PartitionPlan", "candidate_partitions"]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A concrete partitioning of ``n_procs`` into ``n_groups`` groups.
+
+    Groups are balanced: sizes differ by at most one, larger groups
+    first.  Time steps are dealt round-robin — group ``g`` renders steps
+    ``g, g + L, g + 2L, …`` — which keeps every group's stream evenly
+    spaced for the pipelined schedule.
+    """
+
+    n_procs: int
+    n_groups: int
+
+    def __post_init__(self):
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        if not 1 <= self.n_groups <= self.n_procs:
+            raise ValueError(
+                f"n_groups must be in [1, {self.n_procs}], got {self.n_groups}"
+            )
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        base, extra = divmod(self.n_procs, self.n_groups)
+        return tuple(
+            base + (1 if g < extra else 0) for g in range(self.n_groups)
+        )
+
+    @property
+    def group_size(self) -> int:
+        """Largest group size (== all sizes when L divides P)."""
+        return self.group_sizes[0]
+
+    @property
+    def uniform(self) -> bool:
+        return self.n_procs % self.n_groups == 0
+
+    def members(self, group: int) -> range:
+        """Processor ranks of ``group`` (contiguous block assignment)."""
+        sizes = self.group_sizes
+        if not 0 <= group < self.n_groups:
+            raise IndexError(f"group {group} out of range")
+        start = sum(sizes[:group])
+        return range(start, start + sizes[group])
+
+    def group_of_rank(self, rank: int) -> int:
+        """Which group a processor rank belongs to."""
+        if not 0 <= rank < self.n_procs:
+            raise IndexError(f"rank {rank} out of range")
+        sizes = self.group_sizes
+        acc = 0
+        for g, s in enumerate(sizes):
+            acc += s
+            if rank < acc:
+                return g
+        raise AssertionError("unreachable")
+
+    def steps_of_group(self, group: int, n_steps: int) -> range:
+        """Time steps assigned to ``group`` under round-robin dealing."""
+        if not 0 <= group < self.n_groups:
+            raise IndexError(f"group {group} out of range")
+        return range(group, n_steps, self.n_groups)
+
+    def group_of_step(self, step: int) -> int:
+        return step % self.n_groups
+
+    @property
+    def kind(self) -> str:
+        """Which of the paper's three approaches this plan realizes."""
+        if self.n_groups == 1:
+            return "intra-volume"
+        if self.n_groups == self.n_procs:
+            return "inter-volume"
+        return "hybrid"
+
+
+def candidate_partitions(n_procs: int, powers_of_two: bool = True) -> list[int]:
+    """Group counts L worth sweeping for a P-processor machine.
+
+    Powers of two (the paper sweeps 1, 2, 4, …, 32 in Figures 6–7) keep
+    every group binary-swap-capable when P is itself a power of two;
+    with ``powers_of_two=False`` all divisors of P are returned.
+    """
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    if powers_of_two:
+        out = []
+        l = 1
+        while l <= n_procs:
+            out.append(l)
+            l <<= 1
+        return out
+    return [l for l in range(1, n_procs + 1) if n_procs % l == 0]

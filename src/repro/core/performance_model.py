@@ -1,0 +1,172 @@
+"""Closed-form performance model of the partitioned pipeline.
+
+The companion paper [15] ("Processors Management for Rendering
+Time-varying Volume Data Sets") characterizes the optimal partitioning
+with a performance model; this module provides that model for our cost
+constants.  It predicts the three §3 metrics from (P, L) in O(1), which
+makes the optimal-L search instant; the discrete-event simulation in
+:mod:`repro.core.pipeline` is the ground truth it is validated against.
+
+Steady state: each group cycles every ``C = max(render, L·read, L·output)``
+seconds (the shared disk and shared output path must serve all L groups
+per cycle), and the L groups interleave, so frames appear every ``C / L``
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import RenderingMetrics
+from repro.core.partitioning import PartitionPlan
+from repro.sim.cluster import MachineSpec, WanRoute
+from repro.sim.costs import CostModel, DatasetProfile
+
+__all__ = ["PerformanceModel", "predict_metrics"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Analytic pipeline model for one machine/dataset/image setup."""
+
+    machine: MachineSpec
+    profile: DatasetProfile
+    pixels: int
+    transport: str = "store"  # "store" | "daemon" | "x"
+    route: WanRoute | None = None
+    client: MachineSpec | None = None
+    n_pieces: int = 1
+
+    @property
+    def costs(self) -> CostModel:
+        return self.machine.costs
+
+    # -- stage times -------------------------------------------------------------
+
+    def read_s(self, n_groups: int = 1) -> float:
+        return self.costs.volume_read_s(self.profile, concurrent_streams=n_groups)
+
+    def render_s(self, group_size: int) -> float:
+        """Local rendering + compositing for one volume.
+
+        Distribution is *not* included: in the pipelined schedule the
+        data-input stage (read + scatter) of step t+L overlaps the
+        rendering of step t, so it contributes only to start-up latency
+        and the shared-input feasibility bound.
+        """
+        return self.costs.group_render_s(
+            self.profile, self.pixels, group_size
+        ) + self.costs.composite_s(self.pixels, group_size)
+
+    def input_s(self, n_groups: int, group_size: int) -> float:
+        """Full data-input stage for one volume (read + scatter)."""
+        return self.read_s(n_groups) + self.costs.distribute_s(
+            self.profile, group_size
+        )
+
+    def output_shared_s(self) -> float:
+        """Per-frame occupancy of the shared output path."""
+        if self.transport == "store":
+            return self.pixels * 3 / self.costs.io_bandwidth_Bps
+        if self.route is None:
+            raise ValueError(f"transport {self.transport!r} needs a route")
+        if self.transport == "x":
+            return self.route.transfer_s(self.pixels * 3)
+        if self.transport == "daemon":
+            nbytes = self.costs.compressed_frame_bytes(
+                self.pixels, self.profile, self.n_pieces
+            )
+            return self.route.transfer_s(nbytes)
+        raise ValueError(f"unknown transport {self.transport!r}")
+
+    def client_s(self) -> float:
+        """Per-frame occupancy of the (single) display client."""
+        if self.transport == "store" or self.client is None:
+            return 0.0
+        put = self.pixels * 3 / self.client.local_display_bandwidth_Bps
+        base = self.client.display_overhead_s + put
+        if self.transport == "daemon":
+            # decompress constants are client-calibrated (O2 rates)
+            return base + self.client.costs.decompress_s(self.pixels, self.n_pieces)
+        return base
+
+    def compress_s(self) -> float:
+        if self.transport != "daemon":
+            return 0.0
+        return self.costs.compress_s(self.pixels, self.n_pieces)
+
+    # -- metrics -------------------------------------------------------------------
+
+    def predict(self, plan: PartitionPlan, n_steps: int) -> RenderingMetrics:
+        """Predicted (start-up, overall, inter-frame) for a plan."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        l_groups = plan.n_groups
+        g = plan.group_size
+        read = self.read_s(l_groups)
+        inp = self.input_s(l_groups, g)
+        render = self.render_s(g)
+        compress = self.compress_s()
+        out_shared = self.output_shared_s()
+        client = self.client_s()
+
+        # Steady-state group cycle: the group's own work per volume (its
+        # renderer, and its serial reader = read + scatter) vs the shared
+        # resources' aggregate service per L volumes.
+        cycle = max(
+            render + compress,
+            inp,
+            l_groups * read,
+            l_groups * out_shared,
+            l_groups * client,
+        )
+        startup = inp + render + compress + out_shared + client
+        inter = cycle / l_groups if n_steps > 1 else 0.0
+        overall = startup + (n_steps - 1) * inter
+        # Build a minimal frame list so RenderingMetrics stays uniform.
+        from repro.core.metrics import FrameRecord
+
+        frames = [
+            FrameRecord(
+                time_step=t,
+                group=plan.group_of_step(t),
+                displayed=startup + t * inter,
+            )
+            for t in range(n_steps)
+        ]
+        return RenderingMetrics(
+            start_up_latency=startup,
+            overall_time=overall,
+            inter_frame_delay=inter,
+            frames=tuple(frames),
+        )
+
+    def optimal_partition(
+        self, n_procs: int, n_steps: int, candidates: list[int] | None = None
+    ) -> tuple[int, dict[int, float]]:
+        """L minimizing predicted overall time; returns (L*, {L: overall})."""
+        from repro.core.partitioning import candidate_partitions
+
+        ls = candidates if candidates is not None else candidate_partitions(n_procs)
+        overall = {
+            l: self.predict(PartitionPlan(n_procs, l), n_steps).overall_time
+            for l in ls
+        }
+        best = min(overall, key=overall.get)
+        return best, overall
+
+
+def predict_metrics(
+    machine: MachineSpec,
+    profile: DatasetProfile,
+    pixels: int,
+    n_procs: int,
+    n_groups: int,
+    n_steps: int,
+    **kwargs,
+) -> RenderingMetrics:
+    """One-call convenience wrapper over :class:`PerformanceModel`."""
+    model = PerformanceModel(
+        machine=machine, profile=profile, pixels=pixels, **kwargs
+    )
+    return model.predict(PartitionPlan(n_procs, n_groups), n_steps)

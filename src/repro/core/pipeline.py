@@ -1,0 +1,273 @@
+"""Discrete-event simulation of the four-stage rendering pipeline.
+
+This is the timing engine behind Figures 6–9 and 11: P processors in L
+groups, per-group double-buffered data input from a shared storage path,
+local rendering + binary-swap compositing, and an image-output stage that
+is either local storage (batch mode), remote X display, or the
+compression-based display daemon — with the WAN route and the single
+display client modeled as contended resources.
+
+Frames are displayed strictly in time-step order (the animation the user
+watches), so a late frame stalls its successors exactly as a real
+in-order display would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import FrameRecord, RenderingMetrics
+from repro.core.partitioning import PartitionPlan
+from repro.sim.cluster import MachineSpec, WanRoute
+from repro.sim.costs import CostModel, DatasetProfile
+from repro.sim.engine import Simulator
+from repro.sim.resources import Pipe, Resource
+
+__all__ = ["PipelineConfig", "PipelineResult", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One pipeline experiment.
+
+    ``transport``:
+
+    - ``"store"`` — batch mode: frames written to facility storage
+      (Figures 6/7);
+    - ``"x"`` — remote X display: raw 24-bit frames over ``route``;
+    - ``"daemon"`` — compression-based display daemon: JPEG+LZO-sized
+      payloads over ``route``, decompressed on ``client``.
+
+    ``n_pieces`` > 1 selects parallel compression (per-strip sub-images).
+    ``input_buffer`` is the per-group prefetch depth (1 = double
+    buffering, the paper's pipelining).
+
+    ``io_servers`` models the §7.1 future-work extension: "Parallel I/O,
+    if available, can be incorporated into the pipeline rendering process
+    quite straightforwardly, and would improve the overall system
+    performance."  With N > 1 servers the storage path serves N volume
+    reads concurrently (striped mass storage / MPI-2 collective I/O) and
+    each stream sees only its own server's read-ahead (no interleaving
+    interference).
+    """
+
+    n_procs: int
+    n_groups: int
+    n_steps: int
+    profile: DatasetProfile
+    machine: MachineSpec
+    image_size: tuple[int, int] = (256, 256)
+    transport: str = "store"
+    route: WanRoute | None = None
+    client: MachineSpec | None = None
+    n_pieces: int = 1
+    input_buffer: int = 1
+    io_servers: int = 1
+
+    def __post_init__(self):
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self.transport not in ("store", "x", "daemon"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.transport in ("x", "daemon") and self.route is None:
+            raise ValueError(f"transport {self.transport!r} needs a route")
+        if self.input_buffer < 1:
+            raise ValueError("input_buffer must be >= 1")
+        if self.io_servers < 1:
+            raise ValueError("io_servers must be >= 1")
+        plan = PartitionPlan(self.n_procs, self.n_groups)  # validates
+        needed = self.machine.costs.memory_per_node_bytes(
+            self.profile, self.pixels, plan.group_sizes[-1]
+        )
+        if needed > self.machine.node_memory_bytes:
+            raise ValueError(
+                f"partitioning infeasible: {needed / 1e6:.0f} MB working set "
+                f"per node exceeds the machine's "
+                f"{self.machine.node_memory_bytes / 1e6:.0f} MB — the "
+                f"paper's memory limit on inter-volume parallelism"
+            )
+
+    @property
+    def pixels(self) -> int:
+        return self.image_size[0] * self.image_size[1]
+
+    @property
+    def plan(self) -> PartitionPlan:
+        return PartitionPlan(self.n_procs, self.n_groups)
+
+
+@dataclass
+class PipelineResult:
+    """Simulation output: metrics plus resource-utilization probes."""
+
+    config: PipelineConfig
+    metrics: RenderingMetrics
+    storage_utilization: float
+    output_utilization: float
+
+    @property
+    def overall_time(self) -> float:
+        return self.metrics.overall_time
+
+    @property
+    def start_up_latency(self) -> float:
+        return self.metrics.start_up_latency
+
+    @property
+    def inter_frame_delay(self) -> float:
+        return self.metrics.inter_frame_delay
+
+    def timeline(self, width: int = 100) -> str:
+        """ASCII Gantt chart of this run (see repro.core.timeline)."""
+        from repro.core.timeline import render_timeline
+
+        return render_timeline(self, width=width)
+
+    def trace_csv(self) -> str:
+        """Machine-readable schedule (step,group,stage,start,end)."""
+        from repro.core.timeline import export_trace_csv
+
+        return export_trace_csv(self)
+
+
+@dataclass
+class _FrameState:
+    """Mutable per-step timeline filled in by the stage processes."""
+
+    time_step: int
+    group: int
+    read_start: float = float("nan")
+    read_end: float = float("nan")
+    render_start: float = float("nan")
+    render_end: float = float("nan")
+    output_start: float = float("nan")
+    displayed: float = float("nan")
+
+    def to_record(self) -> FrameRecord:
+        return FrameRecord(
+            time_step=self.time_step,
+            group=self.group,
+            read_start=self.read_start,
+            read_end=self.read_end,
+            render_start=self.render_start,
+            render_end=self.render_end,
+            output_start=self.output_start,
+            displayed=self.displayed,
+        )
+
+
+def simulate_pipeline(config: PipelineConfig) -> PipelineResult:
+    """Run the pipelined schedule; deterministic for a given config."""
+    sim = Simulator()
+    plan = config.plan
+    costs: CostModel = config.machine.costs
+    profile = config.profile
+    pixels = config.pixels
+
+    # Shared resources: the facility's storage/LAN input path (capacity
+    # >1 under the parallel-I/O extension), the output path (storage or
+    # WAN), and the single display client.
+    storage = Resource(sim, capacity=config.io_servers, name="storage")
+    output_path = Resource(sim, capacity=1, name="output")
+    client = Resource(sim, capacity=1, name="client")
+
+    frames = {
+        t: _FrameState(time_step=t, group=plan.group_of_step(t))
+        for t in range(config.n_steps)
+    }
+    # In-order display: frame t may appear only after frame t-1 did.
+    display_done = {t: sim.event() for t in range(-1, config.n_steps)}
+    display_done[-1].succeed()
+
+    # With parallel I/O, each server handles at most ceil(L / N) of the
+    # group streams, so interleaving interference drops accordingly.
+    streams_per_server = -(-config.n_groups // config.io_servers)
+    read_s = costs.volume_read_s(profile, concurrent_streams=streams_per_server)
+
+    def reader(group: int, pipe: Pipe):
+        g = plan.group_sizes[group]
+        dist_s = costs.distribute_s(profile, g)
+        for t in plan.steps_of_group(group, config.n_steps):
+            state = frames[t]
+            req = storage.request()
+            yield req
+            state.read_start = sim.now
+            yield sim.timeout(read_s)
+            storage.release()
+            # Scatter bricks to the group's nodes (group-internal links).
+            yield sim.timeout(dist_s)
+            state.read_end = sim.now
+            yield pipe.put(t)
+
+    def renderer(group: int, pipe_in: Pipe, pipe_out: Pipe):
+        g = plan.group_sizes[group]
+        render_s = costs.group_render_s(profile, pixels, g)
+        composite_s = costs.composite_s(pixels, g)
+        for _ in plan.steps_of_group(group, config.n_steps):
+            get = pipe_in.get()
+            yield get
+            t = get.value
+            state = frames[t]
+            state.render_start = sim.now
+            yield sim.timeout(render_s + composite_s)
+            state.render_end = sim.now
+            yield pipe_out.put(t)
+
+    def output(group: int, pipe: Pipe):
+        for _ in plan.steps_of_group(group, config.n_steps):
+            get = pipe.get()
+            yield get
+            t = get.value
+            state = frames[t]
+            state.output_start = sim.now
+            if config.transport == "daemon":
+                # compression runs on the group's own nodes
+                yield sim.timeout(costs.compress_s(pixels, config.n_pieces))
+                nbytes = costs.compressed_frame_bytes(
+                    pixels, profile, config.n_pieces
+                )
+                yield output_path.request()
+                yield sim.timeout(config.route.transfer_s(nbytes))
+                output_path.release()
+                yield client.request()
+                c = config.client if config.client is not None else config.machine
+                # decompress constants are client-calibrated (O2 rates)
+                decompress = c.costs.decompress_s(pixels, config.n_pieces)
+                put = pixels * 3 / c.local_display_bandwidth_Bps
+                yield sim.timeout(decompress + c.display_overhead_s + put)
+                client.release()
+            elif config.transport == "x":
+                yield output_path.request()
+                yield sim.timeout(config.route.transfer_s(pixels * 3))
+                output_path.release()
+                yield client.request()
+                c = config.client if config.client is not None else config.machine
+                put = pixels * 3 / c.local_display_bandwidth_Bps
+                yield sim.timeout(c.display_overhead_s + put)
+                client.release()
+            else:  # store
+                yield output_path.request()
+                yield sim.timeout(pixels * 3 / costs.io_bandwidth_Bps)
+                output_path.release()
+            # Enforce in-order appearance of the animation.
+            yield display_done[t - 1]
+            state.displayed = sim.now
+            display_done[t].succeed()
+
+    for group in range(config.n_groups):
+        pipe_in = Pipe(sim, capacity=config.input_buffer)
+        pipe_out = Pipe(sim, capacity=1)
+        sim.process(reader(group, pipe_in))
+        sim.process(renderer(group, pipe_in, pipe_out))
+        sim.process(output(group, pipe_out))
+
+    horizon = sim.run()
+    metrics = RenderingMetrics.from_frames(
+        [frames[t].to_record() for t in range(config.n_steps)]
+    )
+    return PipelineResult(
+        config=config,
+        metrics=metrics,
+        storage_utilization=storage.utilization(horizon),
+        output_utilization=output_path.utilization(horizon),
+    )

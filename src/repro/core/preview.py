@@ -1,0 +1,128 @@
+"""Preview and review controls — the paper's §7.1 interaction extensions.
+
+"A mechanism for the user to review previously viewed images and to view
+the time steps in some selective fashion should also be incorporated."
+And: "certain time steps can be skipped during a previewing mode."
+
+:class:`PreviewPlayer` wraps a :class:`RemoteVisualizationSession` with
+
+- **strided playback** (every k-th step — the previewing mode),
+- a **review buffer** of recently displayed frames the user can scrub
+  without any WAN traffic,
+- **adaptive quality**: when the measured frame interval exceeds the
+  target, the player steps the JPEG quality down (and back up when there
+  is headroom), trading fidelity for rate like the §4.2 discussion
+  suggests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+from repro.core.remote_viz import RemoteVisualizationSession
+from repro.daemon.display_interface import ReceivedFrame
+
+__all__ = ["PreviewPlayer"]
+
+_QUALITY_LADDER = (35, 50, 65, 80, 90)
+
+
+class PreviewPlayer:
+    """Interactive playback controls over a live session.
+
+    Parameters
+    ----------
+    session:
+        An open :class:`RemoteVisualizationSession`.
+    review_capacity:
+        How many displayed frames to keep for local review.
+    target_frame_seconds:
+        Adaptive-quality target; ``None`` disables adaptation.
+    """
+
+    def __init__(
+        self,
+        session: RemoteVisualizationSession,
+        review_capacity: int = 32,
+        target_frame_seconds: float | None = None,
+    ):
+        if review_capacity < 1:
+            raise ValueError("review_capacity must be >= 1")
+        self.session = session
+        self.review_capacity = review_capacity
+        self.target_frame_seconds = target_frame_seconds
+        self._review: OrderedDict[int, ReceivedFrame] = OrderedDict()
+        self._quality_idx = len(_QUALITY_LADDER) - 1
+        #: (time_step, frame_seconds, quality) log of played frames
+        self.history: list[tuple[int, float, int]] = []
+
+    @property
+    def quality(self) -> int:
+        return _QUALITY_LADDER[self._quality_idx]
+
+    # -- playback ---------------------------------------------------------------
+
+    def play(self, start: int = 0, stop: int | None = None, stride: int = 1):
+        """Play time steps ``start:stop:stride`` (stride > 1 = preview).
+
+        Yields each displayed frame; adapts quality between frames when a
+        target interval is configured.
+        """
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        stop = stop if stop is not None else self.session.dataset.n_steps
+        for t in range(start, stop, stride):
+            t0 = time.perf_counter()
+            frame = self.session.step(t)
+            elapsed = time.perf_counter() - t0
+            self._remember(frame)
+            self.history.append((t, elapsed, self.quality))
+            self._adapt(elapsed)
+            yield frame
+
+    def preview(self, stride: int = 4):
+        """The §7.1 previewing mode: skip through the dataset quickly."""
+        return self.play(stride=stride)
+
+    def _remember(self, frame: ReceivedFrame) -> None:
+        self._review[frame.time_step] = frame
+        self._review.move_to_end(frame.time_step)
+        while len(self._review) > self.review_capacity:
+            self._review.popitem(last=False)
+
+    # -- review -----------------------------------------------------------------
+
+    def reviewable_steps(self) -> list[int]:
+        """Time steps currently held in the review buffer."""
+        return sorted(self._review)
+
+    def review(self, time_step: int) -> ReceivedFrame:
+        """Re-display a previously viewed frame — no re-render, no WAN."""
+        try:
+            return self._review[time_step]
+        except KeyError:
+            raise KeyError(
+                f"step {time_step} not in review buffer "
+                f"(available: {self.reviewable_steps()})"
+            ) from None
+
+    # -- adaptive quality -----------------------------------------------------------
+
+    def _adapt(self, elapsed: float) -> None:
+        if self.target_frame_seconds is None:
+            return
+        changed = False
+        if elapsed > self.target_frame_seconds and self._quality_idx > 0:
+            self._quality_idx -= 1
+            changed = True
+        elif (
+            elapsed < 0.5 * self.target_frame_seconds
+            and self._quality_idx < len(_QUALITY_LADDER) - 1
+        ):
+            self._quality_idx += 1
+            changed = True
+        if changed and self.session.renderer.codec.name.startswith("jpeg"):
+            self.session.display.set_codec(
+                self.session.renderer.codec.name, quality=self.quality
+            )

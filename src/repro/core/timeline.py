@@ -1,0 +1,97 @@
+"""ASCII timeline (Gantt) rendering of a simulated pipeline schedule.
+
+Makes the paper's Figure 1 pipelining visible: one row per processor
+group, one glyph per time slice, showing how data input (``r``),
+rendering (``#``) and image output (``o``) of *different* time steps
+overlap — and where a stage starves (idle ``.``).
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import FrameRecord
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["render_timeline", "export_trace_csv", "stage_intervals"]
+
+_GLYPHS = {"read": "r", "render": "#", "output": "o", "idle": "."}
+
+
+def _paint(row: list[str], start: float, end: float, scale: float, glyph: str) -> None:
+    a = int(start * scale)
+    b = max(int(end * scale), a + 1)
+    for i in range(a, min(b, len(row))):
+        # rendering wins ties so overlap is visible as the busier stage
+        if row[i] == _GLYPHS["idle"] or glyph == "#":
+            row[i] = glyph
+
+
+def stage_intervals(
+    result: PipelineResult,
+) -> list[tuple[int, int, str, float, float]]:
+    """Flatten the schedule into ``(step, group, stage, start, end)`` rows.
+
+    One row per executed stage per frame, sorted by start time — the
+    machine-readable counterpart of :func:`render_timeline` for plotting
+    or post-hoc queueing analysis.
+    """
+    rows: list[tuple[int, int, str, float, float]] = []
+    for f in result.metrics.frames:
+        for stage, start, end in (
+            ("input", f.read_start, f.read_end),
+            ("render", f.render_start, f.render_end),
+            ("output", f.output_start, f.displayed),
+        ):
+            if start == start and end == end:  # skip NaNs
+                rows.append((f.time_step, f.group, stage, start, end))
+    rows.sort(key=lambda r: (r[3], r[0]))
+    return rows
+
+
+def export_trace_csv(result: PipelineResult) -> str:
+    """The schedule as CSV (``step,group,stage,start,end,duration``)."""
+    lines = ["step,group,stage,start,end,duration"]
+    for step, group, stage, start, end in stage_intervals(result):
+        lines.append(
+            f"{step},{group},{stage},{start:.6f},{end:.6f},{end - start:.6f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_timeline(result: PipelineResult, width: int = 100) -> str:
+    """Format a pipeline run as one ASCII Gantt row per group.
+
+    ``width`` is the number of character columns for the full duration.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    config = result.config
+    horizon = result.metrics.overall_time
+    if horizon <= 0:
+        raise ValueError("empty schedule")
+    scale = width / horizon
+
+    rows = {
+        g: [_GLYPHS["idle"]] * width for g in range(config.n_groups)
+    }
+    for frame in result.metrics.frames:
+        row = rows[frame.group]
+        _paint(row, frame.read_start, frame.read_end, scale, _GLYPHS["read"])
+        _paint(row, frame.render_start, frame.render_end, scale, _GLYPHS["render"])
+        _paint(row, frame.output_start, frame.displayed, scale, _GLYPHS["output"])
+
+    lines = [
+        f"pipeline timeline: P={config.n_procs} L={config.n_groups} "
+        f"steps={config.n_steps} ({horizon:.1f}s across {width} cols; "
+        "r=input  #=render  o=output  .=idle)",
+    ]
+    for g in range(config.n_groups):
+        lines.append(f"group {g:3d} |{''.join(rows[g])}|")
+    # utilization footer per group (fraction of columns busy)
+    busy = [
+        sum(1 for c in rows[g] if c != _GLYPHS["idle"]) / width
+        for g in range(config.n_groups)
+    ]
+    lines.append(
+        "busy: " + "  ".join(f"g{g}={b * 100:.0f}%" for g, b in enumerate(busy))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Wire protocol of the display-daemon framework.
+
+Every message is one transport frame::
+
+    "RVIZ" | u8 kind | u32 header_len | header(JSON, utf-8) | payload
+
+JSON headers keep the protocol extensible (the paper's "tagged message"
+user-control path carries arbitrary keys); the bulk image payload rides
+binary after the header.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Message",
+    "FrameMessage",
+    "ControlMessage",
+    "HelloMessage",
+    "decode_message",
+    "ProtocolError",
+]
+
+_MAGIC = b"RVIZ"
+_KIND_FRAME = 1
+_KIND_CONTROL = 2
+_KIND_HELLO = 3
+
+
+class ProtocolError(ValueError):
+    """Malformed message frame."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; concrete kinds below."""
+
+    def _kind(self) -> int:
+        raise NotImplementedError
+
+    def _header(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def _payload(self) -> bytes:
+        return b""
+
+    def encode(self) -> bytes:
+        header = json.dumps(self._header(), separators=(",", ":")).encode()
+        return (
+            _MAGIC
+            + struct.pack("<BI", self._kind(), len(header))
+            + header
+            + self._payload()
+        )
+
+
+@dataclass(frozen=True)
+class FrameMessage(Message):
+    """One (sub-)image of one rendered time step.
+
+    ``piece_index``/``n_pieces`` implement parallel compression: each
+    compute node ships the strip it composited (``row_range`` rows of the
+    full frame); ``n_pieces == 1`` is the assembled-image mode.
+    """
+
+    frame_id: int
+    time_step: int
+    codec: str
+    payload: bytes
+    piece_index: int = 0
+    n_pieces: int = 1
+    row_range: tuple[int, int] | None = None
+    image_shape: tuple[int, int] | None = None
+
+    def _kind(self) -> int:
+        return _KIND_FRAME
+
+    def _header(self) -> dict[str, Any]:
+        return {
+            "frame_id": self.frame_id,
+            "time_step": self.time_step,
+            "codec": self.codec,
+            "piece_index": self.piece_index,
+            "n_pieces": self.n_pieces,
+            "row_range": list(self.row_range) if self.row_range else None,
+            "image_shape": list(self.image_shape) if self.image_shape else None,
+        }
+
+    def _payload(self) -> bytes:
+        return self.payload
+
+
+@dataclass(frozen=True)
+class ControlMessage(Message):
+    """A tagged user-control message (the §5 "remote callback").
+
+    ``tag`` names the action (``"view"``, ``"colormap"``,
+    ``"set_codec"``, ``"start_renderer"``, or anything user-defined);
+    ``params`` carries its arguments.
+    """
+
+    tag: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def _kind(self) -> int:
+        return _KIND_CONTROL
+
+    def _header(self) -> dict[str, Any]:
+        return {"tag": self.tag, "params": self.params}
+
+
+@dataclass(frozen=True)
+class HelloMessage(Message):
+    """Connection registration: ``role`` is "renderer" or "display"."""
+
+    role: str
+    name: str = ""
+
+    def _kind(self) -> int:
+        return _KIND_HELLO
+
+    def _header(self) -> dict[str, Any]:
+        return {"role": self.role, "name": self.name}
+
+
+def decode_message(frame: bytes) -> Message:
+    """Parse one transport frame back into a message object."""
+    if len(frame) < 9 or frame[:4] != _MAGIC:
+        raise ProtocolError("bad message magic")
+    kind, hlen = struct.unpack_from("<BI", frame, 4)
+    if len(frame) < 9 + hlen:
+        raise ProtocolError("truncated message header")
+    try:
+        header = json.loads(frame[9 : 9 + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad message header: {exc}") from exc
+    payload = frame[9 + hlen :]
+    if kind == _KIND_FRAME:
+        return FrameMessage(
+            frame_id=header["frame_id"],
+            time_step=header["time_step"],
+            codec=header["codec"],
+            payload=payload,
+            piece_index=header.get("piece_index", 0),
+            n_pieces=header.get("n_pieces", 1),
+            row_range=tuple(header["row_range"]) if header.get("row_range") else None,
+            image_shape=tuple(header["image_shape"])
+            if header.get("image_shape")
+            else None,
+        )
+    if kind == _KIND_CONTROL:
+        return ControlMessage(tag=header["tag"], params=header.get("params", {}))
+    if kind == _KIND_HELLO:
+        return HelloMessage(role=header["role"], name=header.get("name", ""))
+    raise ProtocolError(f"unknown message kind {kind}")

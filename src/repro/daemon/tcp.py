@@ -1,0 +1,188 @@
+"""TCP transport for the display-daemon framework.
+
+In the paper the renderer, display daemon and display run as separate
+programs on different machines — the daemon "can accept any number of
+connections from renderer interface and display interface".  This module
+provides that deployment shape over real sockets: a
+:class:`TcpDaemonServer` listens on a host/port, peers connect with
+:func:`connect_daemon`, and each connection speaks the same framed
+protocol as the in-process channels (4-byte big-endian length prefix per
+frame), introduced by a ``HelloMessage`` declaring the peer's role.
+
+The returned endpoints implement the :class:`FramedConnection` interface
+(``send``/``recv``/``close`` + traffic log), so
+:class:`~repro.daemon.renderer_interface.RendererInterface` and
+:class:`~repro.daemon.display_interface.DisplayInterface` work over TCP
+unchanged via their ``connection=`` hook.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.daemon.display_daemon import DisplayDaemon
+from repro.daemon.protocol import HelloMessage, decode_message
+from repro.net.transport import ChannelClosed, TrafficLog
+
+__all__ = ["TcpConnection", "TcpDaemonServer", "connect_daemon"]
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+class TcpConnection:
+    """A framed byte connection over a TCP socket.
+
+    Wire format: ``u32be length | payload`` per frame.  Thread-safe for
+    one sender + one receiver.
+    """
+
+    def __init__(self, sock: socket.socket, name: str = ""):
+        self._sock = sock
+        self.name = name
+        self.traffic = TrafficLog()
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, frame: bytes) -> None:
+        header = _LEN.pack(len(frame))
+        try:
+            with self._send_lock:
+                self._sock.sendall(header + frame)
+        except OSError as exc:
+            raise ChannelClosed(f"tcp send failed: {exc}") from exc
+        self.traffic.sent.append(len(frame))
+
+    def _recv_exact(self, n: int, timeout: float | None) -> bytes:
+        chunks = []
+        remaining = n
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as exc:  # socket already torn down
+            raise ChannelClosed(f"tcp socket closed: {exc}") from exc
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout:
+                raise TimeoutError("tcp recv timed out") from None
+            except OSError as exc:
+                raise ChannelClosed(f"tcp recv failed: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        with self._recv_lock:
+            header = self._recv_exact(_LEN.size, timeout)
+            (length,) = _LEN.unpack(header)
+            if length > _MAX_FRAME:
+                raise ChannelClosed(f"tcp frame too large: {length}")
+            frame = self._recv_exact(length, timeout)
+        self.traffic.received.append(len(frame))
+        return frame
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class TcpDaemonServer:
+    """A display daemon listening for TCP peers.
+
+    Every accepted connection must open with a ``HelloMessage``; the
+    daemon then attaches it with the declared role exactly as it does
+    for in-process connections.
+    """
+
+    def __init__(
+        self,
+        daemon: DisplayDaemon | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.daemon = daemon if daemon is not None else DisplayDaemon()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: tuple[str, int] = self._listener.getsockname()
+        self._closed = False
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handshake, args=(sock, peer), daemon=True
+            ).start()
+
+    def _handshake(self, sock: socket.socket, peer) -> None:
+        conn = TcpConnection(sock, name=f"peer-{peer[1]}")
+        try:
+            hello = decode_message(conn.recv(timeout=10.0))
+        except Exception:
+            conn.close()
+            return
+        if not isinstance(hello, HelloMessage):
+            conn.close()
+            return
+        try:
+            self.daemon.connect(conn, role=hello.role, name=hello.name)
+        except ValueError:
+            conn.close()
+            return
+        # Ack after registration so the peer knows frames/controls sent
+        # from now on will be routed (not dropped in the joining race).
+        try:
+            conn.send(HelloMessage(role="daemon", name="ack").encode())
+        except ChannelClosed:
+            pass
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.daemon.close()
+
+    def __enter__(self) -> "TcpDaemonServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect_daemon(
+    address: tuple[str, int], role: str, name: str = "", timeout: float = 10.0
+) -> TcpConnection:
+    """Dial a :class:`TcpDaemonServer` and register with ``role``."""
+    if role not in ("renderer", "display"):
+        raise ValueError(f"unknown role {role!r}")
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    conn = TcpConnection(sock, name=name or role)
+    conn.send(HelloMessage(role=role, name=name).encode())
+    # Wait for the server's registration ack (and keep it out of the
+    # interface's stream).
+    ack = decode_message(conn.recv(timeout=timeout))
+    if not isinstance(ack, HelloMessage) or ack.role != "daemon":
+        conn.close()
+        raise ChannelClosed("daemon did not acknowledge registration")
+    # the ack is connection bookkeeping, not traffic the caller sent for
+    conn.traffic.received.pop()
+    return conn

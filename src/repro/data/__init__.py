@@ -1,0 +1,56 @@
+"""Time-varying volume dataset substrate.
+
+The paper evaluates on three CFD datasets that are not publicly available;
+this package provides procedural stand-ins with the same grid shapes, step
+counts and qualitative image statistics (see DESIGN.md §2):
+
+- :func:`turbulent_jet` — 129x129x104, 150 steps, scalar vorticity of a
+  simulated turbulent jet (sparse plume: images compress very well).
+- :func:`turbulent_vortex` — 128^3, 100 steps, vorticity magnitude of
+  coherent turbulent vortex structures (high pixel coverage: images
+  compress poorly — the paper's hard case for the transport stage).
+- :func:`shock_mixing` — 640x256x256, 265 steps, three velocity
+  components of a shock/bubble mixing problem (the 44 GB dataset: large
+  volumes, rendering dominates transport).
+
+Every dataset is lazy: time steps are synthesized (or read from a
+:class:`~repro.data.store.DatasetStore`) on demand, mirroring the paper's
+"reading large files continuously or periodically throughout the course of
+the visualization process".
+"""
+
+from repro.data.datasets import (
+    DATASET_REGISTRY,
+    TimeVaryingDataset,
+    get_dataset,
+    shock_mixing,
+    turbulent_jet,
+    turbulent_vortex,
+)
+from repro.data.store import DatasetStore
+from repro.data.vectorfields import (
+    abc_flow,
+    curl,
+    divergence,
+    gradient_magnitude,
+    normalize_scalar,
+    velocity_magnitude,
+    vorticity_magnitude,
+)
+
+__all__ = [
+    "TimeVaryingDataset",
+    "DatasetStore",
+    "turbulent_jet",
+    "turbulent_vortex",
+    "shock_mixing",
+    "get_dataset",
+    "DATASET_REGISTRY",
+    "abc_flow",
+    "curl",
+    "divergence",
+    "gradient_magnitude",
+    "normalize_scalar",
+    "velocity_magnitude",
+    "vorticity_magnitude",
+]

@@ -1,0 +1,184 @@
+"""Time-varying dataset abstraction and the paper's three test datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.fields import jet_field, mixing_field, vortex_field
+
+__all__ = [
+    "TimeVaryingDataset",
+    "turbulent_jet",
+    "turbulent_vortex",
+    "shock_mixing",
+    "get_dataset",
+    "DATASET_REGISTRY",
+]
+
+
+@dataclass
+class TimeVaryingDataset:
+    """A sequence of scalar volumes produced lazily, one per time step.
+
+    Attributes
+    ----------
+    name:
+        Registry identifier, e.g. ``"turbulent-jet"``.
+    shape:
+        Grid dimensions ``(nx, ny, nz)`` of one time step.
+    n_steps:
+        Number of time steps in the sequence.
+    generator:
+        ``(t_index) -> float32`` volume in [0, 1] of shape ``shape``.
+    components:
+        Number of stored data components per grid point (3 for the mixing
+        dataset's velocity vectors); the scalar used for rendering is
+        derived, but storage/I-O sizes account for all components.
+    bytes_per_value:
+        Stored bytes per component per point (4 for float32, as CFD codes
+        typically write).
+    """
+
+    name: str
+    shape: tuple[int, int, int]
+    n_steps: int
+    generator: Callable[[int], np.ndarray]
+    components: int = 1
+    bytes_per_value: int = 4
+    description: str = ""
+    _cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    cache_steps: int = 0
+
+    def volume(self, t: int) -> np.ndarray:
+        """The scalar volume at time step ``t`` (float32, in [0, 1])."""
+        if not 0 <= t < self.n_steps:
+            raise IndexError(
+                f"time step {t} out of range [0, {self.n_steps})"
+            )
+        if t in self._cache:
+            return self._cache[t]
+        vol = self.generator(t)
+        if vol.shape != self.shape or vol.dtype != np.float32:
+            raise ValueError(
+                f"generator returned {vol.shape}/{vol.dtype}, "
+                f"expected {self.shape}/float32"
+            )
+        if self.cache_steps:
+            if len(self._cache) >= self.cache_steps:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[t] = vol
+        return vol
+
+    def __len__(self) -> int:
+        return self.n_steps
+
+    def __iter__(self):
+        return (self.volume(t) for t in range(self.n_steps))
+
+    @property
+    def points_per_step(self) -> int:
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def nbytes_per_step(self) -> int:
+        """Stored bytes of one time step (all components)."""
+        return self.points_per_step * self.components * self.bytes_per_value
+
+    @property
+    def total_nbytes(self) -> int:
+        """Stored bytes of the full sequence."""
+        return self.nbytes_per_step * self.n_steps
+
+    def subset(self, n_steps: int) -> "TimeVaryingDataset":
+        """A view over the first ``n_steps`` time steps (e.g. the paper's
+        "first 128 time steps of the turbulent jet data set")."""
+        if not 1 <= n_steps <= self.n_steps:
+            raise ValueError(f"n_steps must be in [1, {self.n_steps}]")
+        return TimeVaryingDataset(
+            name=f"{self.name}[:{n_steps}]",
+            shape=self.shape,
+            n_steps=n_steps,
+            generator=self.generator,
+            components=self.components,
+            bytes_per_value=self.bytes_per_value,
+            description=self.description,
+            cache_steps=self.cache_steps,
+        )
+
+
+def _scaled(shape: tuple[int, int, int], scale: float) -> tuple[int, int, int]:
+    if scale <= 0 or scale > 1:
+        raise ValueError("scale must be in (0, 1]")
+    return tuple(max(8, int(round(n * scale))) for n in shape)
+
+
+def turbulent_jet(scale: float = 1.0, n_steps: int | None = None) -> TimeVaryingDataset:
+    """The paper's primary test dataset: 150 steps of 129x129x104 scalar
+    vorticity from a simulated turbulent jet (Figure 3).
+
+    ``scale`` shrinks grid dimensions proportionally for laptop-scale runs;
+    the time axis is unaffected unless ``n_steps`` is given.
+    """
+    shape = _scaled((129, 129, 104), scale)
+    steps = n_steps if n_steps is not None else 150
+    return TimeVaryingDataset(
+        name="turbulent-jet" if scale == 1.0 else f"turbulent-jet@{scale:g}",
+        shape=shape,
+        n_steps=steps,
+        generator=lambda t: jet_field(shape, float(t)),
+        description="Numerically simulated turbulent jet, scalar vorticity "
+        "on a regular mesh (129x129x104, 150 steps).",
+    )
+
+
+def turbulent_vortex(scale: float = 1.0, n_steps: int | None = None) -> TimeVaryingDataset:
+    """100 steps of 128^3 vorticity magnitude from a pseudo-spectral
+    simulation of coherent turbulent vortex structures (Figure 4)."""
+    shape = _scaled((128, 128, 128), scale)
+    steps = n_steps if n_steps is not None else 100
+    return TimeVaryingDataset(
+        name="turbulent-vortex" if scale == 1.0 else f"turbulent-vortex@{scale:g}",
+        shape=shape,
+        n_steps=steps,
+        generator=lambda t: vortex_field(shape, float(t)),
+        description="Pseudo-spectral turbulence, scalar vorticity magnitude "
+        "(128^3, 100 steps); renders with high pixel coverage.",
+    )
+
+
+def shock_mixing(scale: float = 1.0, n_steps: int | None = None) -> TimeVaryingDataset:
+    """265 steps of 640x256x256 shock/bubble mixing with three velocity
+    components per point — the paper's 44 GB dataset (Figure 5)."""
+    shape = _scaled((640, 256, 256), scale)
+    steps = n_steps if n_steps is not None else 265
+    return TimeVaryingDataset(
+        name="shock-mixing" if scale == 1.0 else f"shock-mixing@{scale:g}",
+        shape=shape,
+        n_steps=steps,
+        generator=lambda t: mixing_field(shape, float(t), n_steps=steps),
+        components=3,
+        description="Shock refraction and mixing (AMR resampled to regular "
+        "640x256x256, 265 steps, 3 velocity components; >44 GB).",
+    )
+
+
+DATASET_REGISTRY: dict[str, Callable[..., TimeVaryingDataset]] = {
+    "turbulent-jet": turbulent_jet,
+    "turbulent-vortex": turbulent_vortex,
+    "shock-mixing": shock_mixing,
+}
+
+
+def get_dataset(name: str, **kwargs) -> TimeVaryingDataset:
+    """Instantiate a registered dataset by name."""
+    try:
+        factory = DATASET_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,148 @@
+"""On-disk storage for time-varying datasets.
+
+The paper's post-processing scenario "leaves the data on the supercomputer
+center's mass storage device" and streams one time step at a time into the
+renderer.  :class:`DatasetStore` materializes a dataset as one file per
+time step plus a JSON manifest, and reopens it as a lazily-reading
+:class:`~repro.data.datasets.TimeVaryingDataset`, so the data-input stage of
+the pipeline exercises real file reads.
+
+Steps can optionally be stored *compressed* with any registered lossless
+codec — "it can take gigabytes to terabytes of storage space to store a
+single data set" (§1), so trading decode time for mass-storage footprint
+is a real facility decision; optional 8-bit quantization roughly quarters
+the footprint again at a half-level error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import TimeVaryingDataset
+
+__all__ = ["DatasetStore"]
+
+_MANIFEST = "manifest.json"
+
+
+class DatasetStore:
+    """Directory-backed dataset of per-step volumes.
+
+    Parameters
+    ----------
+    directory:
+        Where steps and the manifest live.
+    codec:
+        ``None`` for raw little-endian float32 dumps (the common CFD
+        format), or the name of a registered *lossless* codec
+        (``"lzo"``, ``"bzip"``, ``"deflate"``, …) to compress each step.
+    quantize:
+        Store 8-bit quantized values (exact to ±0.5/255 for data in
+        [0, 1]); combines with ``codec``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        codec: str | None = None,
+        quantize: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.codec_name = codec
+        self.quantize = quantize
+        if codec is not None:
+            from repro.compress import get_codec
+
+            if not get_codec(codec).lossless:
+                raise ValueError("store codec must be lossless")
+
+    def _step_path(self, t: int) -> Path:
+        suffix = ".raw" if self.codec_name is None else f".{self.codec_name}"
+        return self.directory / f"step_{t:05d}{suffix}"
+
+    def _encode_step(self, vol: np.ndarray) -> bytes:
+        if self.quantize:
+            payload = (
+                np.clip(np.rint(vol * 255.0), 0, 255).astype(np.uint8).tobytes()
+            )
+        else:
+            payload = vol.astype("<f4").tobytes()
+        if self.codec_name is not None:
+            from repro.compress import get_codec
+
+            payload = get_codec(self.codec_name).encode(payload)
+        return payload
+
+    def save(self, dataset: TimeVaryingDataset, steps: range | None = None) -> None:
+        """Materialize ``dataset`` (or a sub-range of steps) to disk."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        steps = steps if steps is not None else range(dataset.n_steps)
+        manifest = {
+            "name": dataset.name,
+            "shape": list(dataset.shape),
+            "n_steps": len(steps),
+            "first_step": steps[0] if len(steps) else 0,
+            "components": dataset.components,
+            "bytes_per_value": 1 if self.quantize else 4,
+            "description": dataset.description,
+            "dtype": "u1" if self.quantize else "<f4",
+            "codec": self.codec_name,
+            "quantized": self.quantize,
+        }
+        (self.directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        for out_t, src_t in enumerate(steps):
+            vol = dataset.volume(src_t)
+            self._step_path(out_t).write_bytes(self._encode_step(vol))
+
+    def stored_bytes(self) -> int:
+        """Total on-disk footprint of the stored steps."""
+        return sum(
+            p.stat().st_size
+            for p in self.directory.iterdir()
+            if p.name.startswith("step_")
+        )
+
+    def open(self) -> TimeVaryingDataset:
+        """Reopen a saved dataset; volumes are read (and, if stored
+        compressed, decoded) from disk on demand."""
+        manifest_path = self.directory / _MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no dataset manifest in {self.directory}")
+        manifest = json.loads(manifest_path.read_text())
+        shape = tuple(manifest["shape"])
+        codec_name = manifest.get("codec")
+        quantized = manifest.get("quantized", False)
+        suffix = ".raw" if codec_name is None else f".{codec_name}"
+
+        def read_step(t: int) -> np.ndarray:
+            raw = (self.directory / f"step_{t:05d}{suffix}").read_bytes()
+            if codec_name is not None:
+                from repro.compress import get_codec
+
+                raw = get_codec(codec_name).decode(raw)
+            if quantized:
+                vol = np.frombuffer(raw, dtype=np.uint8).astype(np.float32)
+                vol /= 255.0
+            else:
+                vol = np.frombuffer(raw, dtype=manifest["dtype"]).astype(
+                    np.float32
+                )
+            expected = shape[0] * shape[1] * shape[2]
+            if vol.size != expected:
+                raise ValueError(
+                    f"step {t}: {vol.size} values on disk, expected {expected}"
+                )
+            return vol.reshape(shape)
+
+        return TimeVaryingDataset(
+            name=manifest["name"],
+            shape=shape,
+            n_steps=manifest["n_steps"],
+            generator=read_step,
+            components=manifest.get("components", 1),
+            bytes_per_value=manifest.get("bytes_per_value", 4),
+            description=manifest.get("description", ""),
+        )

@@ -1,0 +1,126 @@
+"""Vector fields and derived scalar quantities.
+
+The paper's datasets are derived quantities of CFD vector fields: the jet
+and vortex datasets store *vorticity* (magnitude), and the mixing dataset
+"three velocity components … at each data point".  This module provides
+the vector side: an analytic incompressible velocity generator for tests
+and vector-data experiments, and the standard derived-quantity operators
+(magnitude, curl/vorticity, divergence, gradient magnitude) a
+visualization pipeline feeds to its transfer function.
+
+All operators use central differences on the interior and one-sided
+differences at the boundary, on the unit-cube grid spacing implied by the
+array shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "abc_flow",
+    "velocity_magnitude",
+    "curl",
+    "vorticity_magnitude",
+    "divergence",
+    "gradient_magnitude",
+    "normalize_scalar",
+]
+
+
+def abc_flow(
+    shape: tuple[int, int, int],
+    t: float = 0.0,
+    a: float = 1.0,
+    b: float = np.sqrt(2.0 / 3.0),
+    c: float = np.sqrt(1.0 / 3.0),
+) -> np.ndarray:
+    """The Arnold–Beltrami–Childress flow: an exact divergence-free field.
+
+    Classic test velocity field of fluid visualization; time enters as a
+    phase so a sequence of steps forms a coherent animation.  Returns
+    ``shape + (3,)`` float32.
+    """
+    nx, ny, nz = shape
+    x = np.linspace(0, 2 * np.pi, nx, endpoint=False, dtype=np.float32)
+    y = np.linspace(0, 2 * np.pi, ny, endpoint=False, dtype=np.float32)
+    z = np.linspace(0, 2 * np.pi, nz, endpoint=False, dtype=np.float32)
+    X, Y, Z = np.meshgrid(x, y, z, indexing="ij", sparse=True)
+    phase = np.float32(0.1 * t)
+    u = a * np.sin(Z + phase) + c * np.cos(Y + phase)
+    v = b * np.sin(X + phase) + a * np.cos(Z + phase)
+    w = c * np.sin(Y + phase) + b * np.cos(X + phase)
+    out = np.empty(shape + (3,), dtype=np.float32)
+    out[..., 0] = u
+    out[..., 1] = v
+    out[..., 2] = w
+    return out
+
+
+def _check_vector(field: np.ndarray) -> np.ndarray:
+    arr = np.asarray(field, dtype=np.float32)
+    if arr.ndim != 4 or arr.shape[3] != 3:
+        raise ValueError(f"vector field must be (nx, ny, nz, 3), got {arr.shape}")
+    return arr
+
+
+def velocity_magnitude(field: np.ndarray) -> np.ndarray:
+    """Pointwise |v| — the scalar the mixing dataset renders."""
+    arr = _check_vector(field)
+    return np.sqrt((arr * arr).sum(axis=3))
+
+
+def _spacings(shape: tuple[int, ...]) -> list[float]:
+    return [1.0 / max(n - 1, 1) for n in shape[:3]]
+
+
+def curl(field: np.ndarray) -> np.ndarray:
+    """∇×v by central differences (unit-cube grid)."""
+    arr = _check_vector(field)
+    dx, dy, dz = _spacings(arr.shape)
+    du = [
+        np.gradient(arr[..., comp], dx, dy, dz, edge_order=1)
+        for comp in range(3)
+    ]  # du[comp][axis] = d(v_comp)/d(axis)
+    out = np.empty_like(arr)
+    out[..., 0] = du[2][1] - du[1][2]  # dWdy - dVdz
+    out[..., 1] = du[0][2] - du[2][0]  # dUdz - dWdx
+    out[..., 2] = du[1][0] - du[0][1]  # dVdx - dUdy
+    return out
+
+
+def vorticity_magnitude(field: np.ndarray) -> np.ndarray:
+    """|∇×v| — the scalar the jet and vortex datasets store."""
+    return velocity_magnitude(curl(field))
+
+
+def divergence(field: np.ndarray) -> np.ndarray:
+    """∇·v (≈0 for incompressible flow — a generator sanity probe)."""
+    arr = _check_vector(field)
+    dx, dy, dz = _spacings(arr.shape)
+    return (
+        np.gradient(arr[..., 0], dx, axis=0, edge_order=1)
+        + np.gradient(arr[..., 1], dy, axis=1, edge_order=1)
+        + np.gradient(arr[..., 2], dz, axis=2, edge_order=1)
+    )
+
+
+def gradient_magnitude(volume: np.ndarray) -> np.ndarray:
+    """|∇f| of a scalar volume — the classic interface-highlighting
+    derived quantity (bright exactly where the mixing front is)."""
+    arr = np.asarray(volume, dtype=np.float32)
+    if arr.ndim != 3:
+        raise ValueError(f"scalar volume must be 3-D, got {arr.shape}")
+    dx, dy, dz = _spacings(arr.shape)
+    gx, gy, gz = np.gradient(arr, dx, dy, dz, edge_order=1)
+    return np.sqrt(gx * gx + gy * gy + gz * gz)
+
+
+def normalize_scalar(volume: np.ndarray) -> np.ndarray:
+    """Affine-map a scalar volume to [0, 1] float32 for the renderer."""
+    arr = np.asarray(volume, dtype=np.float32)
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)

@@ -1,0 +1,13 @@
+"""In-process SPMD message-passing runtime.
+
+A faithful, thread-backed subset of the MPI API (mpi4py naming) so that
+the renderer's real communication patterns — brick scatter, binary-swap
+sendrecv, gather-to-assembler — execute and are testable without an MPI
+installation.  See DESIGN.md §2: this layer validates message-level
+*correctness*; wall-clock *scaling* numbers come from :mod:`repro.sim`.
+"""
+
+from repro.machine.communicator import Communicator, CommError, Request
+from repro.machine.spmd import run_spmd
+
+__all__ = ["Communicator", "CommError", "Request", "run_spmd"]

@@ -1,0 +1,291 @@
+"""Thread-backed communicator with an mpi4py-like interface.
+
+Semantics follow MPI where it matters for our renderer:
+
+- point-to-point messages between a (source, dest) pair are
+  non-overtaking (delivered in send order) per tag;
+- ``recv`` blocks; ``send`` is buffered (never blocks);
+- collectives (``bcast``/``scatter``/``gather``/``allgather``/
+  ``barrier``/``reduce``/``alltoall``) must be entered by every rank of
+  the communicator;
+- ``split`` builds sub-communicators by color, the mechanism the pipeline
+  uses to carve the machine into L rendering groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable, Sequence
+
+__all__ = ["Communicator", "CommError", "Request"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class CommError(RuntimeError):
+    """Communicator misuse (bad rank, size mismatch, …)."""
+
+
+class _Mailbox:
+    """Per-rank buffered inbox with (source, tag) matching."""
+
+    def __init__(self):
+        self._messages: deque[tuple[int, int, Any]] = deque()
+        self._cond = threading.Condition()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def peek(self, source: int, tag: int) -> bool:
+        """Whether a matching message is already buffered (no removal)."""
+        with self._cond:
+            for src, tg, _payload in self._messages:
+                if source not in (ANY_SOURCE, src):
+                    continue
+                if tag not in (ANY_TAG, tg):
+                    continue
+                return True
+        return False
+
+    def get(self, source: int, tag: int, timeout: float | None) -> tuple[int, int, Any]:
+        deadline = None
+        with self._cond:
+            while True:
+                for i, (src, tg, payload) in enumerate(self._messages):
+                    if source not in (ANY_SOURCE, src):
+                        continue
+                    if tag not in (ANY_TAG, tg):
+                        continue
+                    del self._messages[i]
+                    return src, tg, payload
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"recv(source={source}, tag={tag}) timed out"
+                    )
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py ``Request`` subset).
+
+    ``test()`` returns ``(done, value)`` without blocking; ``wait()``
+    blocks until completion and returns the value.
+    """
+
+    def __init__(self, ready: bool = False, value: Any = None, poll=None, probe=None):
+        self._done = ready
+        self._value = value
+        self._poll = poll
+        self._probe = probe
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._value
+        if self._probe is not None and not self._probe():
+            return False, None
+        return True, self.wait()
+
+    def wait(self, timeout: float | None = 60.0) -> Any:
+        if not self._done:
+            self._value = self._poll(timeout)
+            self._done = True
+        return self._value
+
+
+class _World:
+    """Shared state of one communicator: mailboxes + collective helpers."""
+
+    _ids = itertools.count()
+
+    def __init__(self, size: int):
+        self.size = size
+        self.id = next(self._ids)
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self._coll_lock = threading.Lock()
+        self._coll_slots: dict[int, dict] = {}
+        self._coll_seq = [0] * size
+
+    # Collectives rendezvous through a shared slot keyed by a per-rank
+    # operation counter; all ranks must call collectives in the same order
+    # (an MPI requirement we inherit).
+    def collect(self, rank: int, value: Any, timeout: float | None) -> list:
+        with self._coll_lock:
+            seq = self._coll_seq[rank]
+            self._coll_seq[rank] += 1
+            state = self._coll_slots.setdefault(
+                seq,
+                {
+                    "values": [None] * self.size,
+                    "filled": 0,
+                    "read": 0,
+                    "event": threading.Event(),
+                },
+            )
+            state["values"][rank] = value
+            state["filled"] += 1
+            if state["filled"] == self.size:
+                state["event"].set()
+            event = state["event"]
+        if not event.wait(timeout=timeout):
+            raise TimeoutError(f"collective #{seq} timed out at rank {rank}")
+        with self._coll_lock:
+            values = list(state["values"])
+            state["read"] += 1
+            if state["read"] == self.size:  # last rank out cleans up
+                del self._coll_slots[seq]
+        return values
+
+
+class Communicator:
+    """One rank's handle on a communication world.
+
+    Construct via :func:`repro.machine.spmd.run_spmd` (which builds the
+    world and hands each thread its communicator) or :meth:`split`.
+    """
+
+    def __init__(self, world: _World, rank: int, timeout: float | None = 60.0):
+        if not 0 <= rank < world.size:
+            raise CommError(f"rank {rank} out of range for size {world.size}")
+        self._world = world
+        self.rank = rank
+        self.timeout = timeout
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: enqueue ``obj`` for ``dest`` and return."""
+        if not 0 <= dest < self.size:
+            raise CommError(f"dest {dest} out of range (size {self.size})")
+        self._world.mailboxes[dest].put(self.rank, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        _, _, payload = self._world.mailboxes[self.rank].get(
+            source, tag, self.timeout
+        )
+        return payload
+
+    def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Blocking receive; returns ``(payload, source, tag)``."""
+        src, tg, payload = self._world.mailboxes[self.rank].get(
+            source, tag, self.timeout
+        )
+        return payload, src, tg
+
+    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
+        """Exchange with ``partner`` (both sides must call)."""
+        self.send(obj, partner, tag)
+        return self.recv(source=partner, tag=tag)
+
+    # -- nonblocking (mpi4py isend/irecv subset) -------------------------------
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.  Buffered sends complete immediately, so the
+        returned request is already satisfied — provided for API parity
+        with MPI codes that pair every isend with a wait."""
+        self.send(obj, dest, tag)
+        return Request(ready=True, value=None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Nonblocking receive: returns a :class:`Request` whose
+        ``test()``/``wait()`` yield the payload once a matching message
+        is in the mailbox."""
+        return Request(
+            poll=lambda timeout: self._world.mailboxes[self.rank].get(
+                source, tag, timeout
+            )[2],
+            probe=lambda: self._world.mailboxes[self.rank].peek(source, tag),
+        )
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._world.barrier.wait(timeout=self.timeout)
+
+    def _exchange(self, value: Any) -> list:
+        return self._world.collect(self.rank, value, self.timeout)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        values = self._exchange(obj if self.rank == root else None)
+        return values[root]
+
+    def scatter(self, values: Sequence[Any] | None = None, root: int = 0) -> Any:
+        all_values = self._exchange(values if self.rank == root else None)
+        root_values = all_values[root]
+        if root_values is None or len(root_values) != self.size:
+            raise CommError(
+                f"scatter needs {self.size} values at root, got "
+                f"{None if root_values is None else len(root_values)}"
+            )
+        return root_values[self.rank]
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        values = self._exchange(obj)
+        return values if self.rank == root else None
+
+    def allgather(self, obj: Any) -> list:
+        return self._exchange(obj)
+
+    def alltoall(self, values: Sequence[Any]) -> list:
+        if len(values) != self.size:
+            raise CommError(f"alltoall needs {self.size} values")
+        matrix = self._exchange(list(values))
+        return [row[self.rank] for row in matrix]
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any | None:
+        values = self._exchange(obj)
+        if self.rank != root:
+            return None
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        values = self._exchange(obj)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    # -- sub-communicators ------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """MPI_Comm_split: group ranks by ``color``, order by ``key``.
+
+        Every rank of this communicator must call.  Returns the new
+        sub-communicator for this rank's color group.
+        """
+        key = key if key is not None else self.rank
+        triples = self._exchange((color, key, self.rank))
+        members = sorted(
+            (k, r) for c, k, r in triples if c == color
+        )
+        ranks = [r for _, r in members]
+        new_rank = ranks.index(self.rank)
+        # Rendezvous: rank 0 of each group builds the world and sends a
+        # handle to its members through the parent communicator.
+        worlds = self._exchange(
+            {color: _World(len(ranks))} if new_rank == 0 else None
+        )
+        world = None
+        for w in worlds:
+            if w is not None and color in w:
+                world = w[color]
+                break
+        if world is None:
+            raise CommError("split failed to build group world")
+        return Communicator(world, new_rank, timeout=self.timeout)

@@ -1,0 +1,76 @@
+"""SPMD launcher: run one function on N logical processors (threads).
+
+``run_spmd(4, fn, *args)`` is this runtime's ``mpiexec -n 4``: every rank
+runs ``fn(comm, *args)`` on its own thread and the per-rank return values
+come back as a list.  An exception on any rank cancels the run and is
+re-raised (with rank attribution) in the caller — no silent hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.machine.communicator import Communicator, _World
+
+__all__ = ["run_spmd", "SpmdError"]
+
+
+class SpmdError(RuntimeError):
+    """A rank raised; carries the failing rank and original exception."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = 120.0,
+) -> list[Any]:
+    """Execute ``fn(comm, *args)`` on ``nprocs`` ranks; gather returns.
+
+    ``timeout`` bounds every blocking communication call (a deadlocked
+    exchange raises instead of hanging the test suite forever).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    world = _World(nprocs)
+    results: list[Any] = [None] * nprocs
+    errors: list[SpmdError] = []
+    errors_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank, timeout=timeout)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with errors_lock:
+                errors.append(SpmdError(rank, exc))
+            # Unblock peers stuck in a barrier with us.
+            try:
+                world.barrier.abort()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        # Report the root cause: a rank that failed on its own, not one
+        # that merely saw the barrier break when the run was cancelled.
+        def priority(e: SpmdError) -> tuple[int, int]:
+            secondary = isinstance(e.original, threading.BrokenBarrierError)
+            return (1 if secondary else 0, e.rank)
+
+        errors.sort(key=priority)
+        raise errors[0]
+    return results

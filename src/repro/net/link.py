@@ -1,0 +1,41 @@
+"""Simulated network link: a WAN route as a contended DES resource.
+
+One frame transfer occupies the route for its full transfer time — the
+paper's single display connection carries frames strictly in order, so a
+slow frame delays everything behind it (the reason "the performance of a
+pipeline is determined by its slowest stage").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.cluster import WanRoute
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["SimLink"]
+
+
+class SimLink:
+    """A :class:`WanRoute` attached to a simulator as a serial resource."""
+
+    def __init__(self, sim: Simulator, route: WanRoute, streams: int = 1):
+        self.sim = sim
+        self.route = route
+        self.resource = Resource(sim, capacity=streams, name=route.name)
+        #: (sim_time_completed, nbytes) log of finished transfers
+        self.completed: list[tuple[float, float]] = []
+
+    def transfer(self, nbytes: float) -> Generator[Event, Any, None]:
+        """Process fragment: move ``nbytes`` across the link.
+
+        Use as ``yield self.sim.process(link.transfer(n))`` or
+        ``yield from`` within another process.
+        """
+        yield self.resource.request()
+        try:
+            yield self.sim.timeout(self.route.transfer_s(nbytes))
+        finally:
+            self.resource.release()
+        self.completed.append((self.sim.now, nbytes))

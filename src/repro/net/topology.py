@@ -1,0 +1,53 @@
+"""Named routes of the paper's testbed plus helpers for custom ones."""
+
+from __future__ import annotations
+
+from repro.sim.cluster import NASA_TO_UCD, RWCP_TO_UCD, WanRoute
+
+__all__ = ["ROUTES", "get_route", "lan_route"]
+
+#: LANs the paper mentions delivering "several frames per second" with
+#: simple lossless compression: FDDI, Fast Ethernet, 10 Mb/s Ethernet.
+_FDDI = WanRoute(
+    name="FDDI LAN", rtt_s=0.001, fast_bandwidth_Bps=11e6,
+    steady_bandwidth_Bps=9e6, burst_bytes=256e3,
+)
+_FAST_ETHERNET = WanRoute(
+    name="Fast Ethernet LAN", rtt_s=0.0008, fast_bandwidth_Bps=11e6,
+    steady_bandwidth_Bps=10e6, burst_bytes=256e3,
+)
+_ETHERNET_10 = WanRoute(
+    name="10 Mb/s Ethernet LAN", rtt_s=0.001, fast_bandwidth_Bps=1.1e6,
+    steady_bandwidth_Bps=1.0e6, burst_bytes=64e3,
+)
+
+ROUTES: dict[str, WanRoute] = {
+    "nasa-ucd": NASA_TO_UCD,
+    "rwcp-ucd": RWCP_TO_UCD,
+    "fddi": _FDDI,
+    "fast-ethernet": _FAST_ETHERNET,
+    "ethernet-10": _ETHERNET_10,
+}
+
+
+def get_route(name: str) -> WanRoute:
+    """Look up a named route (``"nasa-ucd"``, ``"rwcp-ucd"``, LANs)."""
+    try:
+        return ROUTES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown route {name!r}; available: {sorted(ROUTES)}"
+        ) from None
+
+
+def lan_route(bandwidth_Bps: float, rtt_s: float = 0.001) -> WanRoute:
+    """A custom uniform-bandwidth route (no TCP-burst asymmetry)."""
+    if bandwidth_Bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return WanRoute(
+        name=f"custom {bandwidth_Bps/1e6:.1f} MB/s",
+        rtt_s=rtt_s,
+        fast_bandwidth_Bps=bandwidth_Bps,
+        steady_bandwidth_Bps=bandwidth_Bps,
+        burst_bytes=float("inf"),
+    )

@@ -1,0 +1,107 @@
+"""Functional byte transport for the display-daemon framework.
+
+In the paper the renderer interface, display daemon and display interface
+are separate programs connected by TCP sockets.  Here they run in one
+process connected by :class:`Channel` pairs — thread-safe, ordered,
+blocking byte-frame queues — so the framework's real logic (framing,
+routing, callbacks) executes unchanged while a :class:`TrafficLog`
+records every frame's size for post-hoc cost accounting against a
+:class:`~repro.sim.cluster.WanRoute`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.sim.cluster import WanRoute
+
+__all__ = ["Channel", "FramedConnection", "TrafficLog", "ChannelClosed"]
+
+
+class ChannelClosed(ConnectionError):
+    """The peer closed the connection."""
+
+
+@dataclass
+class TrafficLog:
+    """Sizes of frames that crossed a connection, by direction."""
+
+    sent: list[int] = field(default_factory=list)
+    received: list[int] = field(default_factory=list)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(self.sent)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(self.received)
+
+    def replay_transfer_s(self, route: WanRoute) -> float:
+        """Total time these sent frames would take on ``route``."""
+        return sum(route.transfer_s(n) for n in self.sent)
+
+
+class Channel:
+    """One direction of a connection: an ordered queue of byte frames."""
+
+    _CLOSE = object()
+
+    def __init__(self, maxsize: int = 0):
+        self._q: queue.Queue = queue.Queue(maxsize=maxsize)
+        self._closed = threading.Event()
+
+    def send(self, frame: bytes) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed("send on closed channel")
+        self._q.put(bytes(frame))
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        try:
+            item = self._q.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("recv timed out") from None
+        if item is self._CLOSE:
+            # leave the marker visible to any other blocked reader
+            self._q.put(self._CLOSE)
+            raise ChannelClosed("channel closed by peer")
+        return item
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._q.put(self._CLOSE)
+
+
+class FramedConnection:
+    """A bidirectional framed connection endpoint with traffic logging."""
+
+    def __init__(self, out_channel: Channel, in_channel: Channel, name: str = ""):
+        self._out = out_channel
+        self._in = in_channel
+        self.name = name
+        self.traffic = TrafficLog()
+
+    @classmethod
+    def pair(
+        cls, a_name: str = "a", b_name: str = "b", maxsize: int = 0
+    ) -> tuple["FramedConnection", "FramedConnection"]:
+        """Two connected endpoints (like ``socket.socketpair``)."""
+        ab = Channel(maxsize=maxsize)
+        ba = Channel(maxsize=maxsize)
+        return cls(ab, ba, a_name), cls(ba, ab, b_name)
+
+    def send(self, frame: bytes) -> None:
+        self._out.send(frame)
+        self.traffic.sent.append(len(frame))
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        frame = self._in.recv(timeout=timeout)
+        self.traffic.received.append(len(frame))
+        return frame
+
+    def close(self) -> None:
+        self._out.close()
+        self._in.close()

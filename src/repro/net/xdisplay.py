@@ -1,0 +1,49 @@
+"""X-Window remote display model — the paper's baseline transport.
+
+Displaying on a remote X server ships every frame as uncompressed 24-bit
+pixels (a ZPixmap ``XPutImage``) across the wide-area route, plus the
+client-side window update.  No compression, no pipelining with
+decompression — which is exactly why "the performance of X, as expected,
+is not acceptable" beyond small images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import MachineSpec, WanRoute
+
+__all__ = ["XDisplayModel"]
+
+_BYTES_PER_PIXEL = 3  # 24-bit TrueColor ZPixmap
+
+
+@dataclass(frozen=True)
+class XDisplayModel:
+    """Per-frame cost of remote X display across ``route`` onto ``client``."""
+
+    route: WanRoute
+    client: MachineSpec
+
+    def frame_bytes(self, pixels: int) -> int:
+        """Wire bytes of one uncompressed frame."""
+        return pixels * _BYTES_PER_PIXEL
+
+    def transfer_s(self, pixels: int) -> float:
+        """Time on the wide-area route for one frame."""
+        return self.route.transfer_s(self.frame_bytes(pixels))
+
+    def display_s(self, pixels: int) -> float:
+        """Client-side cost of putting the received frame on screen."""
+        return (
+            self.client.display_overhead_s
+            + self.frame_bytes(pixels) / self.client.local_display_bandwidth_Bps
+        )
+
+    def frame_time_s(self, pixels: int) -> float:
+        """End-to-end per-frame display time (transfer + window update)."""
+        return self.transfer_s(pixels) + self.display_s(pixels)
+
+    def frame_rate(self, pixels: int) -> float:
+        """Sustained frames/second when frames stream back-to-back."""
+        return 1.0 / self.frame_time_s(pixels)

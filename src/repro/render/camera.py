@@ -1,0 +1,140 @@
+"""Orthographic camera for the ray caster.
+
+The volume occupies the unit cube [0,1]^3 in world space.  The camera is
+parameterized by spherical angles around the cube center — the "viewing
+position" a remote user manipulates through the display interface —
+and yields one parallel ray per output pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["Camera"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Orthographic or perspective view of the unit cube.
+
+    Attributes
+    ----------
+    image_size:
+        ``(height, width)`` of the output image in pixels.
+    azimuth, elevation:
+        View direction angles in degrees (rotation about +z, then tilt).
+    zoom:
+        1.0 frames the full cube diagonal; >1 magnifies (orthographic
+        footprint, or vertical field of view under perspective).
+    projection:
+        ``"orthographic"`` (parallel rays, the classic parallel-renderer
+        assumption) or ``"perspective"`` (rays from a single eye point).
+    distance:
+        Eye distance from the cube centre (perspective only).
+    fov:
+        Vertical field of view in degrees at ``zoom == 1`` (perspective
+        only); the effective FOV is ``fov / zoom``.
+    """
+
+    image_size: tuple[int, int] = (256, 256)
+    azimuth: float = 30.0
+    elevation: float = 20.0
+    zoom: float = 1.0
+    projection: str = "orthographic"
+    distance: float = 2.5
+    fov: float = 45.0
+
+    def __post_init__(self):
+        h, w = self.image_size
+        if h < 1 or w < 1:
+            raise ValueError(f"bad image size {self.image_size}")
+        if self.zoom <= 0:
+            raise ValueError("zoom must be positive")
+        if self.projection not in ("orthographic", "perspective"):
+            raise ValueError(f"unknown projection {self.projection!r}")
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+        if not 0 < self.fov < 180:
+            raise ValueError("fov must be in (0, 180) degrees")
+
+    @property
+    def view_direction(self) -> np.ndarray:
+        """Unit vector pointing from the camera into the scene."""
+        az = np.radians(self.azimuth)
+        el = np.radians(self.elevation)
+        d = -np.array(
+            [
+                np.cos(el) * np.cos(az),
+                np.cos(el) * np.sin(az),
+                np.sin(el),
+            ],
+            dtype=np.float64,
+        )
+        return d / np.linalg.norm(d)
+
+    def basis(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Orthonormal ``(right, up, forward)`` camera frame."""
+        forward = self.view_direction
+        world_up = np.array([0.0, 0.0, 1.0])
+        if abs(forward @ world_up) > 0.999:
+            world_up = np.array([0.0, 1.0, 0.0])
+        right = np.cross(forward, world_up)
+        right /= np.linalg.norm(right)
+        up = np.cross(right, forward)
+        return right, up, forward
+
+    @property
+    def eye_position(self) -> np.ndarray | None:
+        """Eye point for perspective cameras, ``None`` for orthographic."""
+        if self.projection != "perspective":
+            return None
+        center = np.array([0.5, 0.5, 0.5])
+        return center - self.view_direction * self.distance
+
+    def rays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pixel rays ``(origins, directions)``.
+
+        ``origins`` has shape ``(H*W, 3)`` (row-major pixel order).  For
+        orthographic cameras ``directions`` is the shared unit forward
+        vector of shape ``(3,)``; for perspective cameras it is per-pixel
+        with shape ``(H*W, 3)`` (unit length), all emanating from the eye.
+        """
+        h, w = self.image_size
+        right, up, forward = self.basis()
+        center = np.array([0.5, 0.5, 0.5])
+        # Pixel grid in camera plane coordinates; v flipped so that image
+        # row 0 is the top of the picture.
+        u = (np.arange(w) + 0.5) / w - 0.5
+        v = 0.5 - (np.arange(h) + 0.5) / h
+
+        if self.projection == "orthographic":
+            extent = np.sqrt(3.0) / self.zoom  # cube diagonal at zoom 1
+            uu, vv = np.meshgrid(u * extent, v * extent, indexing="xy")
+            plane_origin = center - forward * 2.0
+            origins = (
+                plane_origin[None, :]
+                + uu.reshape(-1, 1) * right[None, :]
+                + vv.reshape(-1, 1) * up[None, :]
+            )
+            return origins, forward
+
+        eye = center - forward * self.distance
+        half = np.tan(np.radians(self.fov / self.zoom) / 2.0)
+        aspect = w / h
+        uu, vv = np.meshgrid(
+            u * 2.0 * half * aspect, v * 2.0 * half, indexing="xy"
+        )
+        directions = (
+            forward[None, :]
+            + uu.reshape(-1, 1) * right[None, :]
+            + vv.reshape(-1, 1) * up[None, :]
+        )
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        origins = np.broadcast_to(eye, directions.shape).copy()
+        return origins, directions
+
+    def with_view(self, azimuth: float, elevation: float) -> "Camera":
+        """A copy with a new viewing position (user-control callback)."""
+        return replace(self, azimuth=azimuth, elevation=elevation)

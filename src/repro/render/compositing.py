@@ -1,0 +1,146 @@
+"""Global image compositing: the third pipeline stage.
+
+Partial images rendered from disjoint bricks merge with the premultiplied
+``over`` operator in front-to-back visibility order.  Two implementations:
+
+- :func:`composite_bricks` — sequential fold, used by single-process code
+  and as the reference for tests;
+- :func:`binary_swap` — the parallel binary-swap algorithm of the paper's
+  renderer [16] (Ma, Painter, Hansen & Krogh 1994), run over a
+  :class:`repro.machine.Communicator`: in round ``r`` each processor
+  exchanges half of its current image piece with the partner at distance
+  ``2^r`` and composites, finishing with ``1/P`` of the final image on
+  every processor — which is exactly the sub-image it then compresses and
+  ships in the parallel-compression transport mode (§4.1, Figure 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.partition import Brick
+
+__all__ = ["over", "visibility_order", "composite_bricks", "binary_swap"]
+
+
+def over(front: np.ndarray, back: np.ndarray) -> np.ndarray:
+    """Premultiplied-alpha ``over``: composite ``front`` above ``back``."""
+    if front.shape != back.shape:
+        raise ValueError(f"shape mismatch {front.shape} vs {back.shape}")
+    a_front = front[..., 3:4]
+    out = front + (1.0 - a_front) * back
+    return out.astype(np.float32)
+
+
+def visibility_order(bricks: list[Brick], camera: Camera) -> list[int]:
+    """Brick indices sorted front-to-back for the camera.
+
+    Orthographic: brick centres sorted along the view direction —
+    correct for a convex axis-aligned decomposition.  Perspective:
+    sorted by distance from the eye point (the standard centroid
+    approximation).
+    """
+    eye = camera.eye_position
+    if eye is None:
+        d = camera.view_direction
+        keys = [float(np.dot(b.center, d)) for b in bricks]
+    else:
+        keys = [float(np.linalg.norm(b.center - eye)) for b in bricks]
+    return sorted(range(len(bricks)), key=lambda i: keys[i])
+
+
+def composite_bricks(
+    partials: list[np.ndarray], bricks: list[Brick], camera: Camera
+) -> np.ndarray:
+    """Sequentially composite per-brick partial images into the final one."""
+    if len(partials) != len(bricks):
+        raise ValueError("one partial image per brick required")
+    order = visibility_order(list(bricks), camera)
+    result = partials[order[0]].copy()
+    for i in order[1:]:
+        result = over(result, partials[i])
+    return result
+
+
+def binary_swap(comm, partial: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    """Parallel binary-swap compositing over a communicator.
+
+    Every rank contributes its full-size partial image; ranks must hold
+    bricks already numbered in front-to-back visibility order (rank 0
+    closest to the viewer), which the pipeline arranges via
+    :func:`visibility_order`.
+
+    Any group size works: when ``size`` is not a power of two, a folding
+    pre-phase merges ``size - 2^⌊log2 size⌋`` *adjacent* rank pairs — an
+    order-preserving local ``over`` — leaving a power-of-two set of
+    active ranks for the classic swap rounds.  Folded-away ranks return
+    an empty strip (``row_range == (0, 0)``).
+
+    Returns ``(piece, (row_start, row_end))``: this rank's fully
+    composited strip of the final image.  Gathering the strips (e.g. with
+    ``comm.gather``) reassembles the frame; *not* gathering and instead
+    compressing each strip in place is the paper's parallel-compression
+    transport mode.
+    """
+    size = comm.size
+    piece = np.ascontiguousarray(partial, dtype=np.float32)
+    h = piece.shape[0]
+    rank = comm.rank
+
+    p2 = 1 << (size.bit_length() - 1)
+    if p2 == size:
+        active_ranks = list(range(size))
+    else:
+        extra = size - p2
+        # ranks 0..2*extra-1 fold pairwise (even keeps, odd donates);
+        # ranks 2*extra.. stay as they are.
+        if rank < 2 * extra:
+            if rank % 2 == 1:  # donor: hand the partial forward, retire
+                comm.send(piece, dest=rank - 1, tag=_FOLD_TAG)
+                return (
+                    np.zeros((0,) + piece.shape[1:], dtype=np.float32),
+                    (0, 0),
+                )
+            received = comm.recv(source=rank + 1, tag=_FOLD_TAG)
+            # this rank is nearer the viewer than its donor
+            piece = over(piece, received)
+        active_ranks = list(range(0, 2 * extra, 2)) + list(
+            range(2 * extra, size)
+        )
+
+    my_index = active_ranks.index(rank)
+    row_start, row_end = 0, h
+
+    stage = 1
+    while stage < p2:
+        partner_index = my_index ^ stage
+        partner = active_ranks[partner_index]
+        rows = row_end - row_start
+        mid = row_start + rows // 2
+        top = piece[: mid - row_start]
+        bottom = piece[mid - row_start :]
+        if my_index & stage:  # keep the bottom half, send the top
+            send_piece, keep_piece = top, bottom
+            keep_range = (mid, row_end)
+        else:  # keep the top half, send the bottom
+            send_piece, keep_piece = bottom, top
+            keep_range = (row_start, mid)
+        received = comm.sendrecv(send_piece, partner, tag=_SWAP_TAG + stage)
+        if received.shape != keep_piece.shape:
+            raise ValueError(
+                f"rank {rank}: partner piece {received.shape} != "
+                f"{keep_piece.shape}"
+            )
+        # Lower index is nearer the viewer: its piece goes in front.
+        if my_index < partner_index:
+            piece = over(keep_piece, received)
+        else:
+            piece = over(received, keep_piece)
+        row_start, row_end = keep_range
+        stage <<= 1
+    return piece, (row_start, row_end)
+
+
+_FOLD_TAG = 7001
+_SWAP_TAG = 7100

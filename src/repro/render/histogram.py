@@ -1,0 +1,75 @@
+"""Transfer-function design helpers: histograms and automatic presets.
+
+The remote user drives classification through the daemon's ``colormap``
+messages; these helpers give them something sensible to send.  The
+automatic transfer function places opacity where the data is *sparse
+but present* — the classic heuristic that makes features (plumes,
+vortex cores, shock fronts) stand out against the bulk background.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.transfer_function import TransferFunction
+
+__all__ = ["volume_histogram", "suggest_transfer_function", "opacity_profile"]
+
+
+def volume_histogram(
+    volume: np.ndarray, bins: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of scalar values over [0, 1]; returns (counts, edges)."""
+    arr = np.asarray(volume, dtype=np.float32)
+    counts, edges = np.histogram(arr, bins=bins, range=(0.0, 1.0))
+    return counts, edges
+
+
+def opacity_profile(volume: np.ndarray, bins: int = 64) -> np.ndarray:
+    """Per-bin opacity weights: emphasize rare-but-present values.
+
+    Weight ∝ 1 / log(count) for non-empty bins above the background
+    mode, zero for the most-populated (background) bins — so the bulk
+    medium stays transparent and features light up.
+    """
+    counts, _ = volume_histogram(volume, bins)
+    weights = np.zeros(bins, dtype=np.float64)
+    occupied = counts > 0
+    weights[occupied] = 1.0 / np.log2(counts[occupied] + 2.0)
+    # suppress the background: the densest decile of bins goes transparent
+    if occupied.any():
+        cutoff = np.quantile(counts[occupied], 0.9)
+        weights[counts >= cutoff] = 0.0
+    if weights.max() > 0:
+        weights /= weights.max()
+    return weights.astype(np.float32)
+
+
+def suggest_transfer_function(
+    volume: np.ndarray,
+    *,
+    bins: int = 16,
+    max_opacity: float = 0.6,
+    warm: bool = True,
+) -> TransferFunction:
+    """Build a renderable transfer function from the volume's statistics.
+
+    Colors ramp cool→warm (or gray) across the value range; opacity
+    follows :func:`opacity_profile`, clamped to ``max_opacity``.
+    """
+    if not 0 < max_opacity <= 1:
+        raise ValueError("max_opacity must be in (0, 1]")
+    weights = opacity_profile(volume, bins)
+    positions = np.linspace(0.0, 1.0, bins, dtype=np.float64)
+    colors = []
+    for pos, weight in zip(positions, weights):
+        if warm:
+            r = min(1.0, 0.2 + 1.2 * pos)
+            g = 0.15 + 0.7 * pos * pos
+            b = max(0.0, 0.85 - pos)
+        else:
+            r = g = b = pos
+        colors.append((r, g, b, float(weight) * max_opacity))
+    return TransferFunction(
+        positions=tuple(positions.tolist()), colors=tuple(colors)
+    )

@@ -1,0 +1,135 @@
+"""Image-based remote viewing — the paper's §7.1 alternative transport.
+
+"If the user (client) side possesses some minimum graphics capability …
+instead of sending a single frame for each time step, 'compressed'
+subset data can be sent.  This subset data can be … a collection of
+pre-rendered images which can be processed very efficiently with the
+user-side graphics hardware.  For example, Bethel [1] demonstrates
+remote visualization using an image-based rendering approach.  The
+server side computes a set of images by using a parallel supercomputer,
+ships it to the user side, and the user is allowed to explore the data
+from view points that can be reconstructed from the set of images."
+
+:class:`ViewSet` is the server-side product: a ring (or grid) of
+pre-rendered, compressed views of one time step.  :class:`IBRClient`
+reconstructs arbitrary nearby viewpoints client-side by blending the
+angularly-nearest views — no WAN round trip per view change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress import Codec, get_codec
+from repro.render.camera import Camera
+from repro.render.raycast import render_volume
+from repro.render.transfer_function import TransferFunction
+
+__all__ = ["ViewSet", "IBRClient", "build_view_set"]
+
+
+def _angular_distance(az1: float, el1: float, az2: float, el2: float) -> float:
+    """Great-circle-ish distance between two (azimuth, elevation) views."""
+    a1, e1, a2, e2 = map(np.radians, (az1, el1, az2, el2))
+    cos_d = np.sin(e1) * np.sin(e2) + np.cos(e1) * np.cos(e2) * np.cos(a1 - a2)
+    return float(np.degrees(np.arccos(np.clip(cos_d, -1.0, 1.0))))
+
+
+@dataclass(frozen=True)
+class ViewSet:
+    """Compressed pre-rendered views of one time step.
+
+    ``views`` maps (azimuth, elevation) to the codec payload of the
+    rendered frame; this is the "subset data" shipped across the WAN
+    once per time step instead of one frame per interaction.
+    """
+
+    time_step: int
+    image_size: tuple[int, int]
+    codec_name: str
+    views: tuple[tuple[tuple[float, float], bytes], ...]
+
+    @property
+    def n_views(self) -> int:
+        return len(self.views)
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire size of the whole set."""
+        return sum(len(payload) for _, payload in self.views)
+
+    def angles(self) -> list[tuple[float, float]]:
+        return [angle for angle, _ in self.views]
+
+
+def build_view_set(
+    volume: np.ndarray,
+    tf: TransferFunction,
+    time_step: int,
+    *,
+    image_size: tuple[int, int] = (256, 256),
+    azimuths: tuple[float, ...] = tuple(range(0, 360, 30)),
+    elevation: float = 20.0,
+    codec: str | Codec = "jpeg+lzo",
+) -> ViewSet:
+    """Server side: render and compress a ring of views of one volume."""
+    from repro.render.image import to_display_rgb
+
+    codec_obj = get_codec(codec) if isinstance(codec, str) else codec
+    views = []
+    for az in azimuths:
+        cam = Camera(image_size=image_size, azimuth=az, elevation=elevation)
+        frame = to_display_rgb(render_volume(volume, tf, cam))
+        views.append(((float(az), float(elevation)), codec_obj.encode_image(frame)))
+    return ViewSet(
+        time_step=time_step,
+        image_size=image_size,
+        codec_name=codec_obj.name,
+        views=tuple(views),
+    )
+
+
+class IBRClient:
+    """Client side: decode a view set once, reconstruct views locally.
+
+    Reconstruction blends the two angularly-nearest pre-rendered views
+    with inverse-distance weights — the "processed very efficiently with
+    the user-side graphics hardware" step, here a couple of NumPy ops.
+    """
+
+    def __init__(self, view_set: ViewSet):
+        self.view_set = view_set
+        decoder = get_codec(view_set.codec_name)
+        self._frames = [
+            (angle, decoder.decode_image(payload).astype(np.float32))
+            for angle, payload in view_set.views
+        ]
+        if not self._frames:
+            raise ValueError("empty view set")
+
+    def nearest_views(
+        self, azimuth: float, elevation: float, k: int = 2
+    ) -> list[tuple[float, tuple[float, float]]]:
+        """The ``k`` closest stored views as (distance, angle) pairs."""
+        dists = [
+            (_angular_distance(azimuth, elevation, az, el), (az, el))
+            for (az, el), _ in self._frames
+        ]
+        return sorted(dists)[:k]
+
+    def reconstruct(self, azimuth: float, elevation: float) -> np.ndarray:
+        """A uint8 RGB view for an arbitrary nearby viewpoint."""
+        dists = [
+            (_angular_distance(azimuth, elevation, az, el), frame)
+            for (az, el), frame in self._frames
+        ]
+        dists.sort(key=lambda t: t[0])
+        (d0, f0), (d1, f1) = dists[0], dists[1] if len(dists) > 1 else dists[0]
+        if d0 < 1e-9:
+            return f0.astype(np.uint8)
+        w0 = 1.0 / d0
+        w1 = 1.0 / max(d1, 1e-9)
+        blended = (f0 * w0 + f1 * w1) / (w0 + w1)
+        return np.clip(np.rint(blended), 0, 255).astype(np.uint8)

@@ -1,0 +1,74 @@
+"""Image assembly and display conversion: the image-output stage.
+
+Converts premultiplied RGBA working images into displayable ``uint8`` RGB,
+and splits/reassembles row strips — the "sub-images" of the paper's
+parallel-compression mode and its hybrid grouping variant (Figure 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_display_rgb", "split_tiles", "assemble_tiles", "checker_background"]
+
+
+def to_display_rgb(
+    rgba: np.ndarray, background: tuple[float, float, float] = (0.0, 0.0, 0.0)
+) -> np.ndarray:
+    """Composite a premultiplied RGBA image over ``background`` → uint8 RGB."""
+    if rgba.ndim != 3 or rgba.shape[2] != 4:
+        raise ValueError(f"expected (H, W, 4) RGBA, got {rgba.shape}")
+    a = rgba[..., 3:4]
+    bg = np.asarray(background, dtype=np.float32).reshape(1, 1, 3)
+    rgb = rgba[..., :3] + (1.0 - a) * bg
+    return np.clip(np.rint(rgb * 255.0), 0, 255).astype(np.uint8)
+
+
+def split_tiles(image: np.ndarray, n: int) -> list[tuple[tuple[int, int], np.ndarray]]:
+    """Split an image into ``n`` contiguous row strips.
+
+    Returns ``[(row_range, strip), ...]``; strips differ in height by at
+    most one row.  This is the unit of work for per-processor sub-image
+    compression.
+    """
+    h = image.shape[0]
+    if not 1 <= n <= h:
+        raise ValueError(f"cannot split {h} rows into {n} strips")
+    bounds = np.linspace(0, h, n + 1).astype(int)
+    return [
+        ((int(bounds[i]), int(bounds[i + 1])), image[bounds[i] : bounds[i + 1]])
+        for i in range(n)
+    ]
+
+
+def assemble_tiles(
+    tiles: list[tuple[tuple[int, int], np.ndarray]], height: int | None = None
+) -> np.ndarray:
+    """Reassemble row strips into a full image (inverse of split_tiles).
+
+    The display interface performs this step after decompressing the
+    sub-images it received from the daemon.
+    """
+    if not tiles:
+        raise ValueError("no tiles to assemble")
+    tiles = sorted(tiles, key=lambda t: t[0][0])
+    h = height if height is not None else max(r[1] for r, _ in tiles)
+    first = tiles[0][1]
+    out = np.zeros((h,) + first.shape[1:], dtype=first.dtype)
+    covered = 0
+    for (r0, r1), strip in tiles:
+        if strip.shape[0] != r1 - r0:
+            raise ValueError(f"strip rows {strip.shape[0]} != range {r0}:{r1}")
+        out[r0:r1] = strip
+        covered += r1 - r0
+    if covered != h:
+        raise ValueError(f"tiles cover {covered} rows of {h}")
+    return out
+
+
+def checker_background(shape: tuple[int, int], cell: int = 8) -> np.ndarray:
+    """A checkerboard uint8 RGB image (test/demo backdrop)."""
+    yy, xx = np.mgrid[0 : shape[0], 0 : shape[1]]
+    mask = ((yy // cell) + (xx // cell)) % 2
+    img = np.where(mask == 0, 60, 90).astype(np.uint8)
+    return np.dstack([img, img, img])

@@ -1,0 +1,65 @@
+"""Minimal dependency-free image file I/O (PPM / PGM).
+
+The display interface of the real system puts frames on an X screen; in
+this library the equivalent sink is a portable pixmap on disk, readable
+by effectively every image tool.  Binary P6 (color) and P5 (gray), 8-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "read_ppm"]
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write a uint8 image: ``(H, W, 3)`` → P6, ``(H, W)`` → P5."""
+    arr = np.ascontiguousarray(image)
+    if arr.dtype != np.uint8:
+        raise ValueError(f"image must be uint8, got {arr.dtype}")
+    if arr.ndim == 3 and arr.shape[2] == 3:
+        magic = b"P6"
+    elif arr.ndim == 2:
+        magic = b"P5"
+    else:
+        raise ValueError(f"unsupported image shape {arr.shape}")
+    h, w = arr.shape[:2]
+    header = magic + f"\n{w} {h}\n255\n".encode()
+    Path(path).write_bytes(header + arr.tobytes())
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary P6/P5 file written by :func:`write_ppm`."""
+    data = Path(path).read_bytes()
+    # header: magic, whitespace-separated width/height/maxval, one
+    # whitespace byte, then raster
+    fields: list[bytes] = []
+    i = 0
+    while len(fields) < 4:
+        while i < len(data) and data[i : i + 1].isspace():
+            i += 1
+        if i < len(data) and data[i : i + 1] == b"#":  # comment line
+            while i < len(data) and data[i] != 0x0A:
+                i += 1
+            continue
+        start = i
+        while i < len(data) and not data[i : i + 1].isspace():
+            i += 1
+        fields.append(data[start:i])
+    i += 1  # single whitespace after maxval
+    magic, w, h, maxval = fields[0], int(fields[1]), int(fields[2]), int(fields[3])
+    if maxval != 255:
+        raise ValueError(f"only 8-bit PNM supported, maxval={maxval}")
+    if magic == b"P6":
+        shape: tuple[int, ...] = (h, w, 3)
+    elif magic == b"P5":
+        shape = (h, w)
+    else:
+        raise ValueError(f"unsupported magic {magic!r}")
+    count = int(np.prod(shape))
+    raster = data[i : i + count]
+    if len(raster) != count:
+        raise ValueError(f"raster holds {len(raster)} bytes, expected {count}")
+    return np.frombuffer(raster, dtype=np.uint8).reshape(shape)

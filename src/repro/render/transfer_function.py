@@ -1,0 +1,134 @@
+"""Transfer functions: scalar value → color and opacity.
+
+A piecewise-linear RGBA map over [0, 1] scalars, the "new color map" a
+remote user can push to the renderer through the display daemon's tagged
+messages.  Presets mirror the image statistics of the paper's datasets:
+``jet`` leaves most of the volume transparent (low pixel coverage), while
+``vortex`` maps even weak vorticity to visible color (high coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransferFunction"]
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """Piecewise-linear RGBA transfer function.
+
+    ``positions`` are strictly increasing scalar values in [0, 1];
+    ``colors`` the matching ``(n, 4)`` RGBA control values in [0, 1]
+    (opacity is per unit step of :attr:`base_step` ray length and is
+    corrected for the actual sampling distance at render time).
+    """
+
+    positions: tuple[float, ...]
+    colors: tuple[tuple[float, float, float, float], ...]
+    base_step: float = 0.01
+
+    def __post_init__(self):
+        pos = np.asarray(self.positions)
+        col = np.asarray(self.colors)
+        if pos.ndim != 1 or pos.size < 2:
+            raise ValueError("need at least two control points")
+        if np.any(np.diff(pos) <= 0):
+            raise ValueError("positions must be strictly increasing")
+        if col.shape != (pos.size, 4):
+            raise ValueError("colors must be (n, 4) RGBA")
+        if col.min() < 0 or col.max() > 1:
+            raise ValueError("color components must lie in [0, 1]")
+
+    def sample(self, scalars: np.ndarray, step: float | None = None) -> np.ndarray:
+        """RGBA at each scalar (shape ``scalars.shape + (4,)``).
+
+        Opacity is rescaled for sampling distance ``step`` via
+        ``1 - (1 - a)^(step/base_step)`` so rendered opacity is invariant
+        to the ray sampling rate.
+        """
+        pos = np.asarray(self.positions)
+        col = np.asarray(self.colors, dtype=np.float32)
+        flat = np.clip(np.asarray(scalars, dtype=np.float32).ravel(), 0.0, 1.0)
+        out = np.empty((flat.size, 4), dtype=np.float32)
+        for c in range(4):
+            out[:, c] = np.interp(flat, pos, col[:, c])
+        if step is not None and step != self.base_step:
+            out[:, 3] = 1.0 - np.power(
+                1.0 - np.minimum(out[:, 3], 0.9999), step / self.base_step
+            )
+        return out.reshape(np.shape(scalars) + (4,))
+
+    def opacity_threshold(self, resolution: int = 1024) -> float:
+        """Largest scalar below which opacity is identically zero.
+
+        The safe threshold for empty-space culling
+        (:func:`repro.render.raycast.cull_empty_space`): voxels at or
+        below it can never contribute.  Returns 0.0 when the function is
+        opaque from the start.
+        """
+        grid = np.linspace(0.0, 1.0, resolution + 1)
+        alpha = self.sample(grid)[:, 3]
+        nz = np.flatnonzero(alpha > 0.0)
+        if nz.size == 0:
+            return 1.0
+        if nz[0] == 0:
+            return 0.0
+        return float(grid[nz[0] - 1])
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def jet(cls) -> "TransferFunction":
+        """Sparse plume look: transparent below ~0.15, warm colors above."""
+        return cls(
+            positions=(0.0, 0.12, 0.3, 0.55, 0.8, 1.0),
+            colors=(
+                (0.0, 0.0, 0.0, 0.0),
+                (0.1, 0.0, 0.25, 0.0),
+                (0.6, 0.1, 0.4, 0.06),
+                (0.9, 0.45, 0.1, 0.25),
+                (1.0, 0.85, 0.3, 0.6),
+                (1.0, 1.0, 0.9, 0.9),
+            ),
+        )
+
+    @classmethod
+    def vortex(cls) -> "TransferFunction":
+        """High-coverage look: weak values already contribute color."""
+        return cls(
+            positions=(0.0, 0.08, 0.25, 0.5, 0.75, 1.0),
+            colors=(
+                (0.05, 0.05, 0.2, 0.004),
+                (0.1, 0.3, 0.7, 0.02),
+                (0.2, 0.7, 0.7, 0.06),
+                (0.9, 0.9, 0.2, 0.16),
+                (1.0, 0.5, 0.1, 0.4),
+                (1.0, 1.0, 1.0, 0.8),
+            ),
+        )
+
+    @classmethod
+    def mixing(cls) -> "TransferFunction":
+        """Shock/bubble look: interfaces bright, ambient faint."""
+        return cls(
+            positions=(0.0, 0.2, 0.35, 0.6, 0.85, 1.0),
+            colors=(
+                (0.0, 0.0, 0.0, 0.0),
+                (0.05, 0.1, 0.4, 0.01),
+                (0.1, 0.5, 0.8, 0.08),
+                (0.9, 0.7, 0.2, 0.3),
+                (1.0, 0.4, 0.1, 0.55),
+                (1.0, 0.95, 0.8, 0.85),
+            ),
+        )
+
+    @classmethod
+    def grayscale(cls, opacity: float = 0.3) -> "TransferFunction":
+        """Linear gray ramp with constant-slope opacity."""
+        return cls(
+            positions=(0.0, 1.0),
+            colors=((0.0, 0.0, 0.0, 0.0), (1.0, 1.0, 1.0, opacity)),
+        )

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate for the timing experiments.
+
+The paper's figures 6–11 measure wall-clock behaviour of a 1999-era
+testbed (RWCP PC cluster, NASA Origin 2000, SGI O2 client, two WAN
+routes).  This package provides a deterministic discrete-event engine
+(:mod:`~repro.sim.engine`), contended resources — disks, links,
+processors — (:mod:`~repro.sim.resources`), and cost models calibrated to
+the paper's own reported numbers (:mod:`~repro.sim.costs`,
+:mod:`~repro.sim.cluster`; see DESIGN.md §5).
+
+The *functional* behaviour (real rendering, real compression, real message
+patterns) is exercised elsewhere; this package answers only "how long
+would stage X take on the paper's hardware, and how do the stages overlap".
+"""
+
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.resources import Resource, Pipe
+from repro.sim.costs import CostModel
+from repro.sim.cluster import (
+    MachineSpec,
+    WanRoute,
+    NASA_O2K,
+    RWCP_CLUSTER,
+    O2_CLIENT,
+    NASA_TO_UCD,
+    RWCP_TO_UCD,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Pipe",
+    "CostModel",
+    "MachineSpec",
+    "WanRoute",
+    "NASA_O2K",
+    "RWCP_CLUSTER",
+    "O2_CLIENT",
+    "NASA_TO_UCD",
+    "RWCP_TO_UCD",
+]

@@ -1,0 +1,121 @@
+"""Machine and WAN-route specifications of the paper's testbed.
+
+Three machines and two routes appear in Section 6:
+
+- an SGI **Origin 2000** at NASA Ames Research Center (the renderer for
+  Figures 8/9 and Table 2; 16 processors used);
+- the **RWCP PC cluster** in Japan: "130 200 MHz Intel Pentium Pro
+  microprocessors connected by a Myrinet giga-bit network" (Figures 6, 7
+  and 11);
+- an SGI **O2 workstation** at UC Davis (the display client; its modest
+  speed is why "decompression time is long").
+
+The WAN models use a TCP-like burst: the first ``burst_bytes`` of a frame
+travel near ``fast_bandwidth`` (window-limited), the remainder at
+``steady_bandwidth`` — which reproduces the paper's Table 2 X-Window
+rates, where small frames see ~4x the effective throughput of large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.costs import CostModel
+
+__all__ = [
+    "MachineSpec",
+    "WanRoute",
+    "NASA_O2K",
+    "RWCP_CLUSTER",
+    "O2_CLIENT",
+    "NASA_TO_UCD",
+    "RWCP_TO_UCD",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A parallel machine (or workstation) and its cost model."""
+
+    name: str
+    n_procs: int
+    costs: CostModel = field(default_factory=CostModel)
+    #: main memory per node — the §3 constraint on pure inter-volume
+    #: parallelism ("limited by each processor's main memory space");
+    #: 256 MB matches late-90s cluster nodes
+    node_memory_bytes: float = 256e6
+    #: bytes/second the machine can push onto its local display
+    local_display_bandwidth_Bps: float = 8e6
+    #: fixed per-frame client-side handling overhead (event loop, image
+    #: assembly, window update) — dominates tiny frames
+    display_overhead_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class WanRoute:
+    """A wide-area route with TCP-burst transfer behaviour."""
+
+    name: str
+    rtt_s: float
+    fast_bandwidth_Bps: float
+    steady_bandwidth_Bps: float
+    burst_bytes: float
+
+    def transfer_s(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` of one frame across the route."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        slow_part = max(0.0, nbytes - self.burst_bytes)
+        return (
+            self.rtt_s
+            + nbytes / self.fast_bandwidth_Bps
+            + slow_part / self.steady_bandwidth_Bps
+        )
+
+
+#: SGI Origin 2000 at NASA Ames (R10000 nodes — the speed reference).
+NASA_O2K = MachineSpec(
+    name="NASA-Ames Origin 2000",
+    n_procs=128,
+    costs=CostModel(speed_factor=1.0),
+)
+
+#: RWCP PC cluster (200 MHz Pentium Pro + Myrinet).
+RWCP_CLUSTER = MachineSpec(
+    name="RWCP PC cluster",
+    n_procs=128,
+    costs=CostModel(
+        speed_factor=1.25,
+        internal_bandwidth_Bps=60e6,  # Myrinet gigabit-class
+        composite_latency_s=0.002,
+    ),
+)
+
+#: SGI O2 display workstation at UC Davis.
+O2_CLIENT = MachineSpec(
+    name="UC Davis SGI O2",
+    n_procs=1,
+    costs=CostModel(speed_factor=1.6),
+    local_display_bandwidth_Bps=4e6,
+)
+
+#: NASA Ames → UC Davis (~120 miles): Table 2's X rates fit
+#: rtt 30 ms, 600 KB/s burst throughput for the first ~64 KB, 85 KB/s
+#: steady state.
+NASA_TO_UCD = WanRoute(
+    name="NASA Ames -> UC Davis",
+    rtt_s=0.03,
+    fast_bandwidth_Bps=600e3,
+    steady_bandwidth_Bps=85e3,
+    burst_bytes=64e3,
+)
+
+#: RWCP (Japan) → UC Davis: "the image transfer and X-display time took
+#: almost twice longer than the NASA-UCD case."
+RWCP_TO_UCD = WanRoute(
+    name="RWCP Japan -> UC Davis",
+    rtt_s=0.18,
+    fast_bandwidth_Bps=350e3,
+    steady_bandwidth_Bps=45e3,
+    burst_bytes=48e3,
+)

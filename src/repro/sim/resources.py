@@ -1,0 +1,132 @@
+"""Contended resources for the simulation engine.
+
+:class:`Resource` is a counted FIFO semaphore (a disk, a network link, a
+display client); :class:`Pipe` is a buffered FIFO channel (the image
+buffer "the display daemon uses … to cope with faster rendering rates").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Pipe", "hold"]
+
+
+class Resource:
+    """FIFO counted resource.
+
+    ``request()`` returns an event that fires once a slot is granted;
+    every granted request must be paired with ``release()``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+        #: total simulated seconds of granted occupancy (utilization probe)
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        self.busy_time += self._in_use * (self.sim.now - self._last_change)
+        self._last_change = self.sim.now
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._account()
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed()  # slot transfers to the next waiter
+        else:
+            self._in_use -= 1
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of [0, horizon] the resource spent occupied (per slot)."""
+        if horizon <= 0:
+            return 0.0
+        self._account()
+        return self.busy_time / (horizon * self.capacity)
+
+
+def hold(
+    sim: Simulator, resource: Resource, duration: float
+) -> Generator[Event, Any, None]:
+    """Process fragment: acquire ``resource``, hold ``duration``, release.
+
+    Use as ``yield sim.process(hold(sim, disk, t_read))`` or ``yield from``
+    inside another process.
+    """
+    yield resource.request()
+    try:
+        yield sim.timeout(duration)
+    finally:
+        resource.release()
+
+
+class Pipe:
+    """Buffered FIFO channel between producer and consumer processes.
+
+    ``capacity`` bounds the number of buffered items (0 = unbounded);
+    ``put`` blocks when full, ``get`` blocks when empty.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 0, name: str = ""):
+        if capacity < 0:
+            raise SimulationError("capacity must be >= 0")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif self.capacity == 0 or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self._items.append(pending)
+                putter.succeed()
+        elif self._putters:
+            putter, pending = self._putters.popleft()
+            putter.succeed()
+            ev.succeed(pending)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,64 @@
+"""Shared fixtures: small datasets, rendered images, reference codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import turbulent_jet, turbulent_vortex
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+
+
+@pytest.fixture(scope="session")
+def jet_small():
+    """A laptop-scale turbulent-jet dataset (~40^3, 8 steps)."""
+    return turbulent_jet(scale=0.3, n_steps=8)
+
+
+@pytest.fixture(scope="session")
+def vortex_small():
+    return turbulent_vortex(scale=0.25, n_steps=6)
+
+
+@pytest.fixture(scope="session")
+def jet_volume(jet_small):
+    return jet_small.volume(3)
+
+
+@pytest.fixture(scope="session")
+def small_camera():
+    return Camera(image_size=(64, 64), azimuth=30.0, elevation=20.0)
+
+
+@pytest.fixture(scope="session")
+def rendered_rgba(jet_volume, small_camera):
+    """A premultiplied RGBA rendering of the small jet volume."""
+    return render_volume(jet_volume, TransferFunction.jet(), small_camera)
+
+
+@pytest.fixture(scope="session")
+def rendered_rgb(rendered_rgba):
+    """The same frame as displayable uint8 RGB."""
+    return to_display_rgb(rendered_rgba)
+
+
+@pytest.fixture(scope="session")
+def gradient_image():
+    """A smooth synthetic RGB image (JPEG-friendly)."""
+    yy, xx = np.mgrid[0:96, 0:96].astype(np.float32)
+    img = np.stack(
+        [
+            128 + 100 * np.sin(xx / 11.0),
+            (yy * 255 / 95.0),
+            (xx + yy) % 256,
+        ],
+        axis=-1,
+    )
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+@pytest.fixture(scope="session")
+def noise_image():
+    """Worst-case incompressible RGB image."""
+    rng = np.random.default_rng(1234)
+    return rng.integers(0, 256, (64, 64, 3), dtype=np.uint8)

@@ -1,0 +1,165 @@
+"""Failure-injection tests: corrupted payloads, dead peers, bad streams.
+
+A WAN transport loses connections and corrupts data; these tests pin the
+framework's behaviour at each failure point — errors must surface as
+typed exceptions at the consuming side, never as hangs or silent wrong
+images.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compress import CodecError, get_codec
+from repro.daemon import DisplayDaemon, DisplayInterface, RendererInterface
+from repro.daemon.protocol import FrameMessage, ProtocolError, decode_message
+from repro.net.transport import ChannelClosed, FramedConnection
+
+
+class TestCorruptedPayloads:
+    def test_corrupt_frame_payload_raises_codec_error(self, gradient_image):
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="lzo")
+            display = DisplayInterface(daemon)
+            payload = get_codec("lzo").encode_image(gradient_image)
+            corrupted = payload[:20] + b"\xff\xff\xff" + payload[23:]
+            msg = FrameMessage(
+                frame_id=0, time_step=0, codec="lzo", payload=corrupted
+            )
+            renderer.conn.send(msg.encode())
+            with pytest.raises(CodecError):
+                display.next_frame(timeout=5)
+
+    def test_unknown_codec_name_raises(self, gradient_image):
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="lzo")
+            display = DisplayInterface(daemon)
+            msg = FrameMessage(
+                frame_id=0, time_step=0, codec="not-a-codec", payload=b"x"
+            )
+            renderer.conn.send(msg.encode())
+            with pytest.raises(KeyError):
+                display.next_frame(timeout=5)
+
+    def test_garbage_bytes_raise_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x00" * 64)
+
+    def test_bzip_bitflip_detected(self, gradient_image):
+        codec = get_codec("bzip")
+        payload = bytearray(codec.encode_image(gradient_image))
+        payload[len(payload) // 2] ^= 0xFF
+        with pytest.raises((CodecError, ValueError)):
+            out = codec.decode_image(bytes(payload))
+            # a flipped bit that still parses must not silently pass
+            # through unchanged
+            assert not np.array_equal(out, gradient_image)
+
+
+class TestPeerDeath:
+    def test_display_times_out_when_renderer_silent(self):
+        with DisplayDaemon() as daemon:
+            RendererInterface(daemon, codec="raw")
+            display = DisplayInterface(daemon)
+            with pytest.raises(TimeoutError):
+                display.next_frame(timeout=0.2)
+
+    def test_renderer_close_does_not_break_display(self, gradient_image):
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="raw")
+            display = DisplayInterface(daemon)
+            renderer.send_frame(gradient_image, time_step=0)
+            frame = display.next_frame(timeout=5)
+            assert frame.time_step == 0
+            renderer.close()
+            time.sleep(0.1)
+            # a second renderer can join the same daemon afterwards
+            renderer2 = RendererInterface(daemon, codec="raw", name="r2")
+            renderer2.send_frame(gradient_image, time_step=1)
+            assert display.next_frame(timeout=5).time_step == 1
+
+    def test_send_after_connection_close_raises(self, gradient_image):
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="raw")
+            renderer.close()
+            with pytest.raises(ChannelClosed):
+                renderer.send_frame(gradient_image, time_step=0)
+
+    def test_daemon_close_unblocks_display_reader(self):
+        daemon = DisplayDaemon()
+        display = DisplayInterface(daemon)
+        errors = []
+
+        def reader():
+            try:
+                display.next_frame(timeout=10)
+            except (ChannelClosed, TimeoutError) as exc:
+                errors.append(type(exc).__name__)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.1)
+        daemon.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert errors
+
+
+class TestPartialFrames:
+    def test_missing_piece_stalls_only_that_frame(self, gradient_image):
+        """An incomplete multi-piece frame must not block later frames
+        forever at the interface level — completed frames still decode."""
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="raw")
+            display = DisplayInterface(daemon)
+            h, w = gradient_image.shape[:2]
+            # send only piece 0 of a 2-piece frame 0
+            renderer.send_piece(
+                gradient_image[: h // 2], 0, frame_id=0, piece_index=0,
+                n_pieces=2, row_range=(0, h // 2), image_shape=(h, w),
+            )
+            # then a complete single-piece frame 1
+            renderer.send_frame(gradient_image, time_step=1, frame_id=1)
+            frame = display.next_frame(timeout=5)
+            assert frame.frame_id == 1
+            # completing frame 0 later delivers it
+            renderer.send_piece(
+                gradient_image[h // 2 :], 0, frame_id=0, piece_index=1,
+                n_pieces=2, row_range=(h // 2, h), image_shape=(h, w),
+            )
+            late = display.next_frame(timeout=5)
+            assert late.frame_id == 0
+            assert np.array_equal(late.image, gradient_image)
+
+    def test_inconsistent_strip_rows_raise(self, gradient_image):
+        with DisplayDaemon() as daemon:
+            renderer = RendererInterface(daemon, codec="raw")
+            display = DisplayInterface(daemon)
+            h, w = gradient_image.shape[:2]
+            renderer.send_piece(
+                gradient_image[:10], 0, frame_id=0, piece_index=0,
+                n_pieces=2, row_range=(0, 10), image_shape=(h, w),
+            )
+            renderer.send_piece(
+                gradient_image[10:30], 0, frame_id=0, piece_index=1,
+                n_pieces=2, row_range=(10, h), image_shape=(h, w),
+            )
+            with pytest.raises(ValueError):
+                display.next_frame(timeout=5)
+
+
+class TestTransportEdgeCases:
+    def test_connection_pair_isolated(self):
+        a1, b1 = FramedConnection.pair()
+        a2, b2 = FramedConnection.pair()
+        a1.send(b"one")
+        a2.send(b"two")
+        assert b1.recv() == b"one"
+        assert b2.recv() == b"two"
+
+    def test_zero_length_frame(self):
+        a, b = FramedConnection.pair()
+        a.send(b"")
+        assert b.recv() == b""

@@ -1,0 +1,107 @@
+"""Scenario tests for the pipeline simulation: bottlenecks, ordering,
+buffering, and utilization behave like the queueing system they model."""
+
+import pytest
+
+from repro.core import PipelineConfig, simulate_pipeline
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT, RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE, VORTEX_PROFILE
+
+
+def run(**kw):
+    base = dict(
+        n_procs=32,
+        n_groups=4,
+        n_steps=32,
+        profile=JET_PROFILE,
+        machine=RWCP_CLUSTER,
+        image_size=(256, 256),
+        transport="store",
+    )
+    base.update(kw)
+    return simulate_pipeline(PipelineConfig(**base))
+
+
+class TestBottleneckBehaviour:
+    def test_storage_saturates_when_disk_bound(self):
+        """Many groups of few processors outrun the single storage path."""
+        result = run(n_procs=64, n_groups=16, n_steps=64)
+        assert result.storage_utilization > 0.9
+
+    def test_storage_relaxed_when_render_bound(self):
+        result = run(n_procs=8, n_groups=1, n_steps=32)
+        assert result.storage_utilization < 0.3
+
+    def test_parallel_io_lowers_storage_pressure(self):
+        loaded = run(n_procs=64, n_groups=16, n_steps=64)
+        relieved = run(n_procs=64, n_groups=16, n_steps=64, io_servers=4)
+        assert relieved.overall_time < loaded.overall_time
+        assert relieved.storage_utilization < loaded.storage_utilization
+
+    def test_wan_contention_with_x_transport(self):
+        """Raw X frames from 4 groups pile onto the single WAN link."""
+        result = run(
+            machine=NASA_O2K,
+            transport="x",
+            route=NASA_TO_UCD,
+            client=O2_CLIENT,
+            n_steps=16,
+        )
+        assert result.output_utilization > 0.9
+        # inter-frame delay degenerates to the per-frame X transfer time
+        assert result.metrics.inter_frame_delay >= NASA_TO_UCD.transfer_s(
+            256 * 256 * 3
+        ) * 0.95
+
+    def test_daemon_relieves_wan(self):
+        x = run(
+            machine=NASA_O2K, transport="x", route=NASA_TO_UCD,
+            client=O2_CLIENT, n_steps=16,
+        )
+        d = run(
+            machine=NASA_O2K, transport="daemon", route=NASA_TO_UCD,
+            client=O2_CLIENT, n_steps=16,
+        )
+        assert d.output_utilization < x.output_utilization
+        assert d.metrics.inter_frame_delay < x.metrics.inter_frame_delay
+
+
+class TestOrderingAndBuffers:
+    def test_in_order_display_inflates_early_gaps(self):
+        """Round-robin dealing means step t waits on group t mod L; the
+        displayed sequence is still strictly ordered."""
+        result = run(n_groups=8, n_steps=24)
+        displayed = [f.displayed for f in result.metrics.frames]
+        assert displayed == sorted(displayed)
+
+    def test_deeper_prefetch_never_hurts(self):
+        shallow = run(input_buffer=1)
+        deep = run(input_buffer=4)
+        assert deep.overall_time <= shallow.overall_time + 1e-9
+
+    def test_steady_state_is_periodic_with_group_count(self):
+        """Mid-stream the schedule repeats every L frames: the staggered
+        groups release an L-burst per cycle, so the gap sequence is
+        periodic with period L (pipelined steady state)."""
+        l_groups = 4
+        result = run(n_groups=l_groups, n_steps=64)
+        displayed = [f.displayed for f in result.metrics.frames]
+        gaps = [b - a for a, b in zip(displayed, displayed[1:])]
+        mid = gaps[16:48]
+        for i in range(len(mid) - l_groups):
+            assert mid[i] == pytest.approx(mid[i + l_groups], abs=1e-6)
+
+
+class TestDatasetDependence:
+    def test_vortex_sustains_higher_rates_than_jet(self):
+        """Dense data renders faster per frame (early termination)."""
+        jet = run(n_steps=32)
+        vortex = run(n_steps=32, profile=VORTEX_PROFILE)
+        assert (
+            vortex.metrics.inter_frame_delay < jet.metrics.inter_frame_delay
+        )
+
+    def test_larger_images_slower(self):
+        small = run(image_size=(128, 128))
+        large = run(image_size=(512, 512))
+        assert large.overall_time > small.overall_time

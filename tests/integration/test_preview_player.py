@@ -1,0 +1,79 @@
+"""Integration tests for the preview/review player over a live session."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreviewPlayer, RemoteVisualizationSession
+from repro.data import turbulent_jet
+from repro.render import Camera
+
+
+@pytest.fixture
+def session():
+    ds = turbulent_jet(scale=0.25, n_steps=12)
+    with RemoteVisualizationSession(
+        ds, group_size=2, camera=Camera(image_size=(32, 32)), codec="lzo"
+    ) as s:
+        yield s
+
+
+class TestPreviewPlayer:
+    def test_strided_playback(self, session):
+        player = PreviewPlayer(session)
+        frames = list(player.play(start=0, stop=12, stride=4))
+        assert [f.time_step for f in frames] == [0, 4, 8]
+
+    def test_preview_mode_default_stride(self, session):
+        player = PreviewPlayer(session)
+        frames = list(player.preview(stride=6))
+        assert [f.time_step for f in frames] == [0, 6]
+
+    def test_review_buffer(self, session):
+        player = PreviewPlayer(session, review_capacity=2)
+        list(player.play(stop=3))
+        # capacity 2: oldest step evicted
+        assert player.reviewable_steps() == [1, 2]
+        replay = player.review(2)
+        assert replay.time_step == 2
+
+    def test_review_is_local(self, session):
+        """Reviewing does not send anything: traffic stays constant."""
+        player = PreviewPlayer(session)
+        list(player.play(stop=2))
+        sent_before = session.renderer.conn.traffic.bytes_sent
+        player.review(0)
+        player.review(1)
+        assert session.renderer.conn.traffic.bytes_sent == sent_before
+
+    def test_review_miss_raises(self, session):
+        player = PreviewPlayer(session)
+        list(player.play(stop=1))
+        with pytest.raises(KeyError, match="not in review buffer"):
+            player.review(7)
+
+    def test_history_records(self, session):
+        player = PreviewPlayer(session)
+        list(player.play(stop=3))
+        assert len(player.history) == 3
+        steps, times, qualities = zip(*player.history)
+        assert steps == (0, 1, 2)
+        assert all(t > 0 for t in times)
+
+    def test_adaptive_quality_steps_down_when_slow(self, session):
+        player = PreviewPlayer(session, target_frame_seconds=1e-9)
+        q0 = player.quality
+        list(player.play(stop=3))
+        assert player.quality < q0  # impossible target -> quality drops
+
+    def test_adaptive_quality_recovers_when_fast(self, session):
+        player = PreviewPlayer(session, target_frame_seconds=1e9)
+        player._quality_idx = 0
+        list(player.play(stop=3))
+        assert player.quality > 35
+
+    def test_validation(self, session):
+        with pytest.raises(ValueError):
+            PreviewPlayer(session, review_capacity=0)
+        player = PreviewPlayer(session)
+        with pytest.raises(ValueError):
+            list(player.play(stride=0))

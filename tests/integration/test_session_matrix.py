@@ -1,0 +1,74 @@
+"""Breadth matrix: sessions across codecs, piece counts and render modes.
+
+Every combination a user can configure must produce a frame whose image
+matches (lossless) or closely tracks (lossy) the directly-rendered
+reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import psnr
+from repro.core import RemoteVisualizationSession
+from repro.data import turbulent_jet
+from repro.render import Camera
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return turbulent_jet(scale=0.25, n_steps=3)
+
+
+CAM = Camera(image_size=(40, 40))
+
+
+@pytest.mark.parametrize("codec", ["raw", "rle", "lzo", "deflate", "bzip"])
+@pytest.mark.parametrize("n_pieces", [1, 3])
+def test_lossless_matrix(dataset, codec, n_pieces):
+    with RemoteVisualizationSession(
+        dataset, group_size=2, camera=CAM, codec=codec, n_pieces=n_pieces
+    ) as sess:
+        frame = sess.step(1)
+        reference = sess.render_step(1)
+    assert np.array_equal(frame.image, reference)
+    assert frame.n_pieces == n_pieces
+
+
+@pytest.mark.parametrize("codec", ["jpeg", "jpeg+lzo", "jpeg+bzip"])
+@pytest.mark.parametrize("n_pieces", [1, 2])
+def test_lossy_matrix(dataset, codec, n_pieces):
+    with RemoteVisualizationSession(
+        dataset, group_size=2, camera=CAM, codec=codec, n_pieces=n_pieces
+    ) as sess:
+        frame = sess.step(1)
+        reference = sess.render_step(1)
+    assert psnr(reference, frame.image) > 25.0
+
+
+@pytest.mark.parametrize("spmd", [False, True])
+@pytest.mark.parametrize("shading", [False, True])
+@pytest.mark.parametrize("cull", [False, True])
+def test_render_mode_matrix(dataset, spmd, shading, cull):
+    with RemoteVisualizationSession(
+        dataset,
+        group_size=2,
+        camera=CAM,
+        codec="raw",
+        spmd=spmd,
+        shading=shading,
+        cull=cull,
+    ) as sess:
+        frame = sess.step(2)
+    assert frame.image.shape == (40, 40, 3)
+    assert frame.image.max() > 0  # the jet is visible in every mode
+
+
+@pytest.mark.parametrize("projection", ["orthographic", "perspective"])
+def test_projection_matrix(dataset, projection):
+    cam = Camera(image_size=(40, 40), projection=projection)
+    with RemoteVisualizationSession(
+        dataset, group_size=3, camera=cam, codec="lzo", spmd=True
+    ) as sess:
+        frame = sess.step(0)
+        reference = sess.render_step(0)
+    assert np.array_equal(frame.image, reference)

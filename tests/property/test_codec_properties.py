@@ -1,0 +1,144 @@
+"""Property-based tests: every lossless codec inverts on arbitrary bytes."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compress import get_codec
+from repro.compress.bwt import bwt_forward, bwt_inverse
+from repro.compress.mtf import mtf_forward, mtf_inverse
+
+LOSSLESS = ["raw", "rle", "lzo", "bzip"]
+
+# Mixed strategy: arbitrary bytes plus run-heavy byte streams (the codecs'
+# happy path), so shrinking explores both regimes.
+byte_streams = st.one_of(
+    st.binary(max_size=2000),
+    st.lists(
+        st.tuples(st.integers(0, 255), st.integers(1, 200)), max_size=30
+    ).map(lambda runs: b"".join(bytes([v]) * n for v, n in runs)),
+)
+
+
+@pytest.mark.parametrize("name", LOSSLESS)
+@given(data=byte_streams)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lossless_roundtrip(name, data):
+    codec = get_codec(name)
+    assert codec.decode(codec.encode(data)) == data
+
+
+@given(data=byte_streams)
+@settings(max_examples=40, deadline=None)
+def test_bwt_roundtrip(data):
+    last, primary = bwt_forward(data)
+    assert len(last) == len(data)
+    assert bwt_inverse(last, primary) == data
+
+
+@given(data=byte_streams)
+@settings(max_examples=40, deadline=None)
+def test_bwt_is_permutation(data):
+    last, _ = bwt_forward(data)
+    assert sorted(last) == sorted(data)
+
+
+@given(data=byte_streams)
+@settings(max_examples=40, deadline=None)
+def test_mtf_roundtrip(data):
+    assert mtf_inverse(mtf_forward(data)) == data
+
+
+@given(data=st.binary(max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_framediff_stream_roundtrip(data):
+    enc = get_codec("framediff")
+    dec = get_codec("framediff")
+    # send the same buffer twice: key frame then delta
+    for _ in range(2):
+        assert dec.decode(enc.encode(data)) == data
+
+
+@given(
+    h=st.integers(1, 40),
+    w=st.integers(1, 40),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_lossless_image_roundtrip(h, w, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+    for name in ("rle", "lzo"):
+        codec = get_codec(name)
+        assert np.array_equal(codec.decode_image(codec.encode_image(img)), img)
+
+
+@given(
+    h=st.integers(8, 48),
+    w=st.integers(8, 48),
+    quality=st.integers(5, 95),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_jpeg_decodes_to_same_shape_and_bounded_error(h, w, quality, seed):
+    rng = np.random.default_rng(seed)
+    # smooth image: random low-frequency field
+    base = rng.normal(size=(4, 4, 3))
+    img = np.clip(
+        np.kron(base, np.ones((16, 16, 1)))[:h, :w] * 40 + 128, 0, 255
+    ).astype(np.uint8)
+    codec = get_codec("jpeg", quality=quality)
+    out = codec.decode_image(codec.encode_image(img))
+    assert out.shape == img.shape
+    # even at low quality, mean error on smooth content stays bounded
+    assert np.abs(out.astype(float) - img).mean() < 40.0
+
+
+@given(
+    alphabet=st.integers(2, 300),
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 3000),
+    skew=st.floats(0.5, 8.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_huffman_roundtrip_arbitrary_alphabets(alphabet, seed, n, skew):
+    """Canonical Huffman inverts for any alphabet size and skew."""
+    import numpy as np
+
+    from repro.compress.huffman import build_code, decode_symbols, encode_symbols
+
+    rng = np.random.default_rng(seed)
+    weights = rng.random(alphabet) ** skew
+    weights /= weights.sum()
+    symbols = rng.choice(alphabet, size=n, p=weights)
+    freqs = np.bincount(symbols, minlength=alphabet)
+    code = build_code(freqs)
+    payload, nbits = encode_symbols(symbols, code)
+    out = decode_symbols(payload, nbits, n, code)
+    assert np.array_equal(out, symbols)
+    # and the code is close to the entropy bound (within 1 bit/symbol
+    # plus the canonical length-limit slack)
+    probs = freqs[freqs > 0] / n
+    entropy = float(-(probs * np.log2(probs)).sum())
+    assert nbits / n <= entropy + 1.0 + 1e-9
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(0, 400),
+)
+@settings(max_examples=40, deadline=None)
+def test_huffman_table_serialization_roundtrip(seed, n):
+    import numpy as np
+
+    from repro.compress.huffman import HuffmanCode, build_code
+
+    rng = np.random.default_rng(seed)
+    freqs = rng.integers(0, 50, max(n, 2))
+    code = build_code(freqs)
+    blob = code.to_bytes()
+    restored, offset = HuffmanCode.from_bytes(blob)
+    assert offset == len(blob)
+    assert np.array_equal(restored.lengths, code.lengths)
+    assert np.array_equal(restored.codes, code.codes)

@@ -1,0 +1,108 @@
+"""Property-based tests for the newer subsystems: deflate, subset
+viewing, PPM I/O, vector operators, and the autotuner."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.compress import DeflateCodec
+from repro.core.subset_viewing import pack_volume_subset, unpack_volume_subset
+from repro.data.vectorfields import curl, divergence, velocity_magnitude
+from repro.render.ppm import read_ppm, write_ppm
+
+byte_streams = st.one_of(
+    st.binary(max_size=1500),
+    st.lists(
+        st.tuples(st.integers(0, 255), st.integers(1, 150)), max_size=25
+    ).map(lambda runs: b"".join(bytes([v]) * n for v, n in runs)),
+)
+
+
+@given(data=byte_streams)
+@settings(max_examples=30, deadline=None)
+def test_deflate_roundtrip(data):
+    codec = DeflateCodec()
+    assert codec.decode(codec.encode(data)) == data
+
+
+@given(
+    nx=st.integers(2, 16),
+    ny=st.integers(2, 16),
+    nz=st.integers(2, 16),
+    factor=st.integers(1, 3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_volume_subset_roundtrip_properties(nx, ny, nz, factor, seed):
+    assume(nx // factor >= 1 and ny // factor >= 1 and nz // factor >= 1)
+    rng = np.random.default_rng(seed)
+    vol = rng.random((nx, ny, nz)).astype(np.float32)
+    payload = pack_volume_subset(vol, factor=factor, codec="lzo")
+    out, f = unpack_volume_subset(payload)
+    assert f == factor
+    assert out.shape == (max(nx // factor, 1), max(ny // factor, 1), max(nz // factor, 1))
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    if factor == 1:
+        assert np.abs(out - vol).max() <= 0.5 / 255 + 1e-6
+    else:
+        # block means stay within the original value range
+        assert out.max() <= vol.max() + 0.5 / 255
+        assert out.min() >= vol.min() - 0.5 / 255
+
+
+@given(
+    h=st.integers(1, 32),
+    w=st.integers(1, 32),
+    gray=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_ppm_roundtrip(tmp_path_factory, h, w, gray, seed):
+    rng = np.random.default_rng(seed)
+    shape = (h, w) if gray else (h, w, 3)
+    img = rng.integers(0, 256, shape, dtype=np.uint8)
+    path = tmp_path_factory.mktemp("ppm") / "img.ppm"
+    write_ppm(path, img)
+    assert np.array_equal(read_ppm(path), img)
+
+
+@given(
+    n=st.integers(6, 14),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_divergence_of_curl_is_zero(n, seed):
+    """div(curl(F)) == 0 identically; discretization leaves small noise."""
+    rng = np.random.default_rng(seed)
+    # smooth random field: low-order trig modes
+    x = np.linspace(0, 1, n, dtype=np.float32)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    field = np.stack(
+        [
+            np.sin(2 * np.pi * X) * rng.uniform(0.5, 1.5)
+            + np.cos(2 * np.pi * Y),
+            np.sin(2 * np.pi * Y) * rng.uniform(0.5, 1.5)
+            + np.cos(2 * np.pi * Z),
+            np.sin(2 * np.pi * Z) * rng.uniform(0.5, 1.5)
+            + np.cos(2 * np.pi * X),
+        ],
+        axis=3,
+    ).astype(np.float32)
+    w = curl(field)
+    div = divergence(w)[2:-2, 2:-2, 2:-2]
+    scale = velocity_magnitude(w).mean() + 1e-9
+    assert np.abs(div).mean() < 0.5 * scale * n  # bounded discretization noise
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    scale=st.floats(0.1, 10.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_velocity_magnitude_homogeneity(seed, scale):
+    """|s·v| == s·|v| for s >= 0."""
+    rng = np.random.default_rng(seed)
+    field = rng.normal(size=(5, 5, 5, 3)).astype(np.float32)
+    lhs = velocity_magnitude(field * scale)
+    rhs = velocity_magnitude(field) * scale
+    assert np.allclose(lhs, rhs, rtol=1e-4)

@@ -1,0 +1,102 @@
+"""Property-based tests on rendering and compositing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render import Camera, TransferFunction, decompose, over, render_volume
+from repro.render.image import assemble_tiles, split_tiles
+
+
+def premultiplied_images(shape=(4, 4)):
+    def build(seed):
+        rng = np.random.default_rng(seed)
+        alpha = rng.random(shape + (1,)).astype(np.float32)
+        rgb = rng.random(shape + (3,)).astype(np.float32) * alpha
+        return np.concatenate([rgb, alpha], axis=2)
+
+    return st.integers(0, 2**31 - 1).map(build)
+
+
+@given(a=premultiplied_images(), b=premultiplied_images())
+@settings(max_examples=50, deadline=None)
+def test_over_output_stays_premultiplied_and_bounded(a, b):
+    out = over(a, b)
+    assert (out >= -1e-6).all()
+    assert (out[..., 3] <= 1.0 + 1e-5).all()
+    assert (out[..., :3] <= out[..., 3:4] + 1e-5).all()
+
+
+@given(a=premultiplied_images(), b=premultiplied_images(), c=premultiplied_images())
+@settings(max_examples=50, deadline=None)
+def test_over_associativity(a, b, c):
+    left = over(over(a, b), c)
+    right = over(a, over(b, c))
+    assert np.allclose(left, right, atol=1e-5)
+
+
+@given(a=premultiplied_images())
+@settings(max_examples=25, deadline=None)
+def test_over_identity_with_transparent(a):
+    clear = np.zeros_like(a)
+    assert np.allclose(over(clear, a), a, atol=1e-7)
+    assert np.allclose(over(a, clear), a, atol=1e-7)
+
+
+@given(
+    nx=st.integers(4, 24),
+    ny=st.integers(4, 24),
+    nz=st.integers(4, 24),
+    n=st.integers(1, 8),
+)
+@settings(max_examples=50, deadline=None)
+def test_decompose_covers_and_balances(nx, ny, nz, n):
+    shape = (nx, ny, nz)
+    dec = decompose(shape, n)
+    assert len(dec) == n
+    cover = np.zeros(shape, dtype=np.int32)
+    for brick in dec:
+        assert all(0 <= a < b <= s for (a, b), s in zip(brick.index_ranges, shape))
+        cover[brick.slices] += 1
+    assert (cover >= 1).all()
+
+
+@given(
+    h=st.integers(2, 64),
+    w=st.integers(1, 16),
+    seed=st.integers(0, 2**31 - 1),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_assemble_inverse(h, w, seed, data):
+    n = data.draw(st.integers(1, h))
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+    assert np.array_equal(assemble_tiles(split_tiles(img, n)), img)
+
+
+@given(az=st.floats(-360, 360), el=st.floats(-89, 89))
+@settings(max_examples=50, deadline=None)
+def test_camera_basis_always_orthonormal(az, el):
+    cam = Camera(azimuth=az, elevation=el)
+    right, up, fwd = cam.basis()
+    eye = np.stack([right, up, fwd])
+    assert np.allclose(eye @ eye.T, np.eye(3), atol=1e-9)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    az=st.floats(0, 360),
+    el=st.floats(-80, 80),
+)
+@settings(max_examples=10, deadline=None)
+def test_render_alpha_never_exceeds_one(seed, az, el):
+    rng = np.random.default_rng(seed)
+    vol = rng.random((10, 10, 10)).astype(np.float32)
+    img = render_volume(
+        vol,
+        TransferFunction.vortex(),
+        Camera(image_size=(12, 12), azimuth=az, elevation=el),
+    )
+    assert img[..., 3].max() <= 1.0 + 1e-5
+    assert (img >= -1e-6).all()

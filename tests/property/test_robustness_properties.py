@@ -1,0 +1,73 @@
+"""Property-based robustness: corrupted payloads never crash decoders.
+
+A WAN corrupts or truncates payloads; every decoder must respond with a
+typed error (CodecError / ProtocolError / ValueError / KeyError) or a
+well-formed wrong result — never an unhandled IndexError/struct.error
+crash or a hang.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import CodecError, get_codec
+from repro.daemon.protocol import ProtocolError, decode_message
+
+ACCEPTABLE = (CodecError, ValueError, KeyError)
+
+
+def _flip(payload: bytes, position: int, new_byte: int) -> bytes:
+    position %= max(len(payload), 1)
+    return payload[:position] + bytes([new_byte]) + payload[position + 1 :]
+
+
+@pytest.fixture(scope="module")
+def reference_payloads(request):
+    img = np.clip(
+        np.add.outer(np.arange(32) * 4, np.arange(32) * 3)[..., None]
+        + np.array([0, 60, 120]),
+        0,
+        255,
+    ).astype(np.uint8)
+    out = {}
+    for name in ("rle", "lzo", "bzip", "jpeg", "jpeg+lzo"):
+        out[name] = get_codec(name).encode_image(img)
+    return out
+
+
+@pytest.mark.parametrize("name", ["rle", "lzo", "bzip", "jpeg", "jpeg+lzo"])
+@given(position=st.integers(0, 10_000), new_byte=st.integers(0, 255))
+@settings(max_examples=30, deadline=None)
+def test_bitflip_never_crashes(reference_payloads, name, position, new_byte):
+    payload = _flip(reference_payloads[name], position, new_byte)
+    codec = get_codec(name)
+    try:
+        out = codec.decode_image(payload)
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.uint8
+
+
+@pytest.mark.parametrize("name", ["rle", "lzo", "bzip", "jpeg"])
+@given(cut=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_truncation_never_crashes(reference_payloads, name, cut):
+    payload = reference_payloads[name]
+    truncated = payload[: cut % (len(payload) + 1)]
+    codec = get_codec(name)
+    try:
+        out = codec.decode_image(truncated)
+    except ACCEPTABLE:
+        return
+    assert isinstance(out, np.ndarray)
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_protocol_decode_never_crashes(data):
+    try:
+        decode_message(data)
+    except (ProtocolError, KeyError):
+        pass

@@ -1,0 +1,109 @@
+"""Unit tests for the scalability analysis module."""
+
+import pytest
+
+from repro.core import bottleneck_report, strong_scaling, weak_scaling
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return strong_scaling(
+            RWCP_CLUSTER, JET_PROFILE, proc_counts=(1, 4, 16, 64), n_steps=32
+        )
+
+    def test_monotone_speedup(self, points):
+        speedups = [p.speedup for p in points]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_baseline_normalized(self, points):
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].efficiency == pytest.approx(1.0)
+
+    def test_efficiency_degrades_sublinearly(self, points):
+        effs = [p.efficiency for p in points]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.5  # the pipeline scales respectably
+
+    def test_speedup_bounded_by_procs(self, points):
+        for p in points:
+            assert p.speedup <= p.n_procs * 1.05
+
+    def test_best_partition_recorded(self, points):
+        for p in points:
+            assert 1 <= p.best_partition <= p.n_procs
+
+
+class TestWeakScaling:
+    def test_near_flat_overall_time(self):
+        points = weak_scaling(
+            RWCP_CLUSTER, JET_PROFILE, proc_counts=(4, 16, 64), steps_per_proc=2
+        )
+        times = [p.overall_time for p in points]
+        assert max(times) / min(times) < 1.5  # within 50% of flat
+
+    def test_efficiency_definition(self):
+        points = weak_scaling(
+            RWCP_CLUSTER, JET_PROFILE, proc_counts=(4, 16), steps_per_proc=2
+        )
+        assert points[0].efficiency == pytest.approx(1.0)
+        assert points[1].efficiency == pytest.approx(
+            points[0].overall_time / points[1].overall_time
+        )
+
+
+class TestBottleneckReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return bottleneck_report(RWCP_CLUSTER, JET_PROFILE, n_procs=64)
+
+    def test_all_partitions_covered(self, report):
+        assert sorted(report) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_bottleneck_is_max_stage(self, report):
+        for row in report.values():
+            stages = {k: v for k, v in row.items() if k != "bottleneck"}
+            assert row["bottleneck"] == pytest.approx(max(stages.values()))
+
+    def test_small_L_render_bound_large_L_storage_bound(self, report):
+        """The mechanism behind Figure 6's U-shape."""
+        def limiting(l):
+            row = report[l]
+            return max(
+                (k for k in row if k != "bottleneck"), key=row.get
+            )
+
+        assert limiting(1) == "render"
+        assert limiting(32) == "storage"
+
+    def test_store_mode_has_no_client_cost(self, report):
+        for row in report.values():
+            assert row["client"] == 0.0
+
+
+class TestControlResponseLatency:
+    def test_positive_and_finite(self):
+        from repro.core import control_response_latency
+
+        lat = control_response_latency(RWCP_CLUSTER, JET_PROFILE, 32, 4)
+        assert 0 < lat < 60
+
+    def test_grows_with_partition_count(self):
+        """§5's 'certain delay is expected' worsens with deeper
+        pipelining: more frames are committed ahead of the input."""
+        from repro.core import control_response_latency
+
+        lats = [
+            control_response_latency(RWCP_CLUSTER, JET_PROFILE, 32, l)
+            for l in (1, 2, 4, 8, 16)
+        ]
+        assert all(a < b for a, b in zip(lats, lats[1:]))
+
+    def test_more_processors_respond_faster(self):
+        from repro.core import control_response_latency
+
+        slow = control_response_latency(RWCP_CLUSTER, JET_PROFILE, 8, 2)
+        fast = control_response_latency(RWCP_CLUSTER, JET_PROFILE, 64, 2)
+        assert fast < slow

@@ -1,0 +1,116 @@
+"""Unit tests for session auto-tuning and compressibility analysis."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    estimate_compressed_bytes,
+    frame_statistics,
+    get_codec,
+    pixel_coverage,
+    shannon_entropy_bits,
+)
+from repro.core import autotune
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT
+from repro.sim.costs import JET_PROFILE
+
+
+class TestCompressibilityAnalysis:
+    def test_coverage_black_frame(self):
+        assert pixel_coverage(np.zeros((8, 8, 3), dtype=np.uint8)) == 0.0
+
+    def test_coverage_full_frame(self):
+        assert pixel_coverage(np.full((8, 8, 3), 200, dtype=np.uint8)) == 1.0
+
+    def test_coverage_partial(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        img[:5] = 100
+        assert pixel_coverage(img) == pytest.approx(0.5)
+
+    def test_entropy_constant_is_zero(self):
+        assert shannon_entropy_bits(np.full((16, 16), 7, dtype=np.uint8)) == 0.0
+
+    def test_entropy_uniform_is_eight(self):
+        img = np.arange(256, dtype=np.uint8).repeat(4)
+        assert shannon_entropy_bits(img) == pytest.approx(8.0)
+
+    def test_entropy_bounds(self, gradient_image):
+        e = shannon_entropy_bits(gradient_image)
+        assert 0.0 < e <= 8.0
+
+    def test_jet_frames_lower_entropy_than_vortex(
+        self, rendered_rgb, vortex_small, small_camera
+    ):
+        """The measurable mechanism behind §6's compression contrast."""
+        from repro.render import TransferFunction, render_volume, to_display_rgb
+
+        vortex_frame = to_display_rgb(
+            render_volume(
+                vortex_small.volume(2), TransferFunction.vortex(), small_camera
+            )
+        )
+        assert pixel_coverage(rendered_rgb) < pixel_coverage(vortex_frame)
+        assert shannon_entropy_bits(rendered_rgb) < shannon_entropy_bits(
+            vortex_frame
+        )
+
+    def test_size_estimate_tracks_real_codec(self, rendered_rgb):
+        est = estimate_compressed_bytes(rendered_rgb)
+        real = len(get_codec("lzo").encode_image(rendered_rgb))
+        assert real / 4 < est < real * 4
+
+    def test_frame_statistics_keys(self, gradient_image):
+        stats = frame_statistics(gradient_image)
+        assert set(stats) == {
+            "pixel_coverage",
+            "entropy_bits_per_byte",
+            "estimated_lossless_bytes",
+            "raw_bytes",
+        }
+        assert stats["raw_bytes"] == gradient_image.size
+
+
+class TestAutotune:
+    def run(self, **kw):
+        base = dict(n_procs=64, image_size=(256, 256), target_fps=2.0)
+        base.update(kw)
+        return autotune(
+            NASA_O2K, JET_PROFILE, NASA_TO_UCD, O2_CLIENT, **base
+        )
+
+    def test_easy_target_met_at_high_quality(self):
+        cfg = self.run(target_fps=1.0)
+        assert cfg.meets_target
+        assert cfg.quality == 90
+        assert cfg.predicted_fps >= 1.0
+
+    def test_impossible_target_returns_fastest(self):
+        cfg = self.run(target_fps=1000.0)
+        assert not cfg.meets_target
+        assert cfg.predicted_fps > 0
+
+    def test_valid_configuration_fields(self):
+        cfg = self.run()
+        assert 1 <= cfg.n_groups <= 64
+        assert cfg.n_pieces in (1, 2, 4, 8)
+        assert cfg.quality in (35, 50, 65, 75, 90)
+        assert cfg.predicted_startup_s > 0
+
+    def test_tighter_target_never_higher_quality(self):
+        easy = self.run(target_fps=0.5)
+        hard = self.run(target_fps=4.0)
+        assert hard.quality <= easy.quality
+
+    def test_prefers_quality_when_meeting(self):
+        """Among meeting configs, quality dominates piece count and L."""
+        cfg = self.run(target_fps=0.1)
+        assert cfg.quality == 90
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            self.run(target_fps=0)
+
+    def test_smaller_images_reach_higher_rates(self):
+        big = self.run(image_size=(1024, 1024), target_fps=1000)
+        small = self.run(image_size=(128, 128), target_fps=1000)
+        assert small.predicted_fps > big.predicted_fps

@@ -1,0 +1,119 @@
+"""Unit tests for the vectorized bit packer/unpacker."""
+
+import numpy as np
+import pytest
+
+from repro.compress.bitio import (
+    bits_to_bytes,
+    pack_values,
+    sliding_code_windows,
+    unpack_bits,
+)
+
+
+class TestPackValues:
+    def test_single_byte_msb_first(self):
+        payload, nbits = pack_values(np.array([0b101]), np.array([3]))
+        assert nbits == 3
+        assert payload == bytes([0b10100000])
+
+    def test_two_values_concatenate(self):
+        payload, nbits = pack_values(np.array([0b1, 0b01]), np.array([1, 2]))
+        assert nbits == 3
+        assert payload == bytes([0b10100000])
+
+    def test_crosses_byte_boundary(self):
+        payload, nbits = pack_values(np.array([0xAB, 0xCD]), np.array([8, 8]))
+        assert nbits == 16
+        assert payload == bytes([0xAB, 0xCD])
+
+    def test_zero_length_entries_contribute_nothing(self):
+        payload, nbits = pack_values(np.array([7, 0, 3]), np.array([3, 0, 2]))
+        assert nbits == 5
+        assert payload == bytes([0b11111000])
+
+    def test_empty_input(self):
+        payload, nbits = pack_values(np.array([], dtype=np.uint64), np.array([], dtype=np.int64))
+        assert payload == b""
+        assert nbits == 0
+
+    def test_all_zero_lengths(self):
+        payload, nbits = pack_values(np.zeros(5), np.zeros(5))
+        assert payload == b""
+        assert nbits == 0
+
+    def test_32_bit_value(self):
+        v = 0xDEADBEEF
+        payload, nbits = pack_values(np.array([v]), np.array([32]))
+        assert nbits == 32
+        assert payload == v.to_bytes(4, "big")
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            pack_values(np.array([1, 2]), np.array([3]))
+
+    def test_rejects_over_wide_lengths(self):
+        with pytest.raises(ValueError):
+            pack_values(np.array([1]), np.array([33]))
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            pack_values(np.array([1]), np.array([-1]))
+
+    def test_roundtrip_with_unpack(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(1, 17, 100)
+        values = np.array(
+            [rng.integers(0, 1 << l) for l in lengths], dtype=np.uint64
+        )
+        payload, nbits = pack_values(values, lengths)
+        bits = unpack_bits(payload, nbits)
+        pos = 0
+        for v, l in zip(values, lengths):
+            got = 0
+            for k in range(l):
+                got = (got << 1) | int(bits[pos + k])
+            assert got == int(v)
+            pos += l
+
+
+class TestUnpackBits:
+    def test_empty(self):
+        assert unpack_bits(b"", 0).size == 0
+
+    def test_exact_bits(self):
+        bits = unpack_bits(bytes([0b10110000]), 4)
+        assert bits.tolist() == [1, 0, 1, 1]
+
+    def test_too_short_payload_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bits(bytes([0xFF]), 9)
+
+
+class TestSlidingWindows:
+    def test_window_values(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+        win = sliding_code_windows(bits, 2)
+        assert win.tolist() == [0b10, 0b01, 0b11, 0b10]  # last is zero-padded
+
+    def test_width_one_is_identity(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert sliding_code_windows(bits, 1).tolist() == [1, 0, 1]
+
+    def test_zero_padding_at_end(self):
+        bits = np.array([1], dtype=np.uint8)
+        win = sliding_code_windows(bits, 4)
+        assert win.tolist() == [0b1000]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            sliding_code_windows(np.array([1], dtype=np.uint8), 0)
+        with pytest.raises(ValueError):
+            sliding_code_windows(np.array([1], dtype=np.uint8), 33)
+
+
+class TestBitsToBytes:
+    def test_pads_to_byte(self):
+        assert bits_to_bytes(np.array([1, 1, 1], dtype=np.uint8)) == bytes(
+            [0b11100000]
+        )

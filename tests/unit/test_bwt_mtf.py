@@ -1,0 +1,128 @@
+"""Unit tests for the Burrows–Wheeler transform and move-to-front coder."""
+
+import numpy as np
+import pytest
+
+from repro.compress.base import CodecError
+from repro.compress.bwt import bwt_forward, bwt_inverse
+from repro.compress.mtf import mtf_forward, mtf_inverse
+
+
+def naive_bwt(data: bytes) -> tuple[bytes, int]:
+    """Reference O(n^2 log n) rotation sort."""
+    n = len(data)
+    rotations = sorted(range(n), key=lambda i: data[i:] + data[:i])
+    last = bytes(data[(i - 1) % n] for i in rotations)
+    return last, rotations.index(0)
+
+
+class TestBWTForward:
+    def test_empty(self):
+        assert bwt_forward(b"") == (b"", 0)
+
+    def test_single_byte(self):
+        assert bwt_forward(b"a") == (b"a", 0)
+
+    def test_banana(self):
+        last, primary = bwt_forward(b"banana")
+        ref_last, ref_primary = naive_bwt(b"banana")
+        assert last == ref_last
+        assert primary == ref_primary
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"mississippi",
+            b"abracadabra",
+            b"aaaa",
+            b"abab",
+            b"the quick brown fox",
+            bytes(range(256)),
+        ],
+    )
+    def test_matches_naive(self, data):
+        assert bwt_forward(data) == naive_bwt(data)
+
+    def test_matches_naive_random(self):
+        rng = np.random.default_rng(17)
+        for trial in range(10):
+            n = int(rng.integers(2, 60))
+            data = rng.integers(0, 4, n, dtype=np.uint8).tobytes()
+            assert bwt_forward(data) == naive_bwt(data), data
+
+    def test_groups_like_characters(self):
+        # BWT of English-like text clusters identical bytes
+        data = b"she sells sea shells by the sea shore " * 20
+        last, _ = bwt_forward(data)
+        runs = sum(1 for a, b in zip(last, last[1:]) if a != b)
+        runs_orig = sum(1 for a, b in zip(data, data[1:]) if a != b)
+        assert runs < runs_orig / 2
+
+
+class TestBWTInverse:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"x",
+            b"banana",
+            b"mississippi",
+            b"aaaaaaaaaa",
+            b"abcabcabc",
+            bytes(range(256)) * 2,
+        ],
+    )
+    def test_roundtrip(self, data):
+        last, primary = bwt_forward(data)
+        assert bwt_inverse(last, primary) == data
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(23)
+        data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        last, primary = bwt_forward(data)
+        assert bwt_inverse(last, primary) == data
+
+    def test_roundtrip_large_runs(self):
+        data = b"\x00" * 3000 + b"\x01" * 3000 + b"\x00" * 3000
+        last, primary = bwt_forward(data)
+        assert bwt_inverse(last, primary) == data
+
+    def test_bad_primary_rejected(self):
+        with pytest.raises(CodecError):
+            bwt_inverse(b"abc", 5)
+        with pytest.raises(CodecError):
+            bwt_inverse(b"abc", -1)
+
+
+class TestMTF:
+    def test_empty(self):
+        assert mtf_forward(b"") == b""
+        assert mtf_inverse(b"") == b""
+
+    def test_first_occurrence_is_identity_index(self):
+        # alphabet starts as 0..255, so byte b first maps to b itself
+        assert mtf_forward(b"\x05") == b"\x05"
+
+    def test_repeat_maps_to_zero(self):
+        out = mtf_forward(b"\x41\x41\x41")
+        assert out[1:] == b"\x00\x00"
+
+    def test_roundtrip(self):
+        data = b"move to front coding clusters repeats" * 10
+        assert mtf_inverse(mtf_forward(data)) == data
+
+    def test_roundtrip_all_bytes(self):
+        data = bytes(range(256)) + bytes(reversed(range(256)))
+        assert mtf_inverse(mtf_forward(data)) == data
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(29)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        assert mtf_inverse(mtf_forward(data)) == data
+
+    def test_post_bwt_data_becomes_small_values(self):
+        data = b"she sells sea shells by the sea shore " * 30
+        last, _ = bwt_forward(data)
+        mtf = mtf_forward(last)
+        small = sum(1 for b in mtf if b < 8)
+        assert small / len(mtf) > 0.75

@@ -1,0 +1,138 @@
+"""Unit tests for the camera and transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.render import Camera, TransferFunction
+
+
+class TestCamera:
+    def test_view_direction_is_unit(self):
+        for az, el in [(0, 0), (45, 30), (180, -60), (270, 89)]:
+            cam = Camera(azimuth=az, elevation=el)
+            assert np.linalg.norm(cam.view_direction) == pytest.approx(1.0)
+
+    def test_basis_orthonormal(self):
+        cam = Camera(azimuth=33, elevation=21)
+        right, up, fwd = cam.basis()
+        for v in (right, up, fwd):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(right @ up) < 1e-12
+        assert abs(right @ fwd) < 1e-12
+        assert abs(up @ fwd) < 1e-12
+
+    def test_straight_down_view_does_not_degenerate(self):
+        cam = Camera(azimuth=0, elevation=90)
+        right, up, fwd = cam.basis()
+        assert np.isfinite(right).all() and np.linalg.norm(right) > 0.9
+
+    def test_rays_shape_and_direction(self):
+        cam = Camera(image_size=(16, 24))
+        origins, direction = cam.rays()
+        assert origins.shape == (16 * 24, 3)
+        assert direction.shape == (3,)
+        assert np.allclose(direction, cam.view_direction)
+
+    def test_origins_behind_volume(self):
+        cam = Camera(image_size=(8, 8))
+        origins, direction = cam.rays()
+        center = np.array([0.5, 0.5, 0.5])
+        # every origin is on the far side of the cube centre
+        assert np.all((center - origins) @ direction > 1.0)
+
+    def test_zoom_shrinks_footprint(self):
+        wide = Camera(image_size=(8, 8), zoom=1.0).rays()[0]
+        tight = Camera(image_size=(8, 8), zoom=4.0).rays()[0]
+        assert tight.std(axis=0).max() < wide.std(axis=0).max()
+
+    def test_with_view(self):
+        cam = Camera(azimuth=10, elevation=5)
+        moved = cam.with_view(azimuth=50, elevation=-10)
+        assert moved.azimuth == 50 and moved.elevation == -10
+        assert moved.image_size == cam.image_size
+        assert cam.azimuth == 10  # original untouched (frozen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(image_size=(0, 5))
+        with pytest.raises(ValueError):
+            Camera(zoom=0)
+
+
+class TestTransferFunction:
+    def test_sample_shape(self):
+        tf = TransferFunction.jet()
+        vals = np.random.default_rng(0).random((5, 6))
+        rgba = tf.sample(vals)
+        assert rgba.shape == (5, 6, 4)
+
+    def test_interpolation_endpoints(self):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        rgba = tf.sample(np.array([0.0, 1.0]))
+        assert np.allclose(rgba[0], [0, 0, 0, 0])
+        assert np.allclose(rgba[1], [1, 1, 1, 0.5])
+
+    def test_interpolation_midpoint(self):
+        tf = TransferFunction(
+            positions=(0.0, 1.0),
+            colors=((0, 0, 0, 0), (1.0, 0.5, 0.0, 1.0)),
+        )
+        rgba = tf.sample(np.array([0.5]))
+        assert np.allclose(rgba[0], [0.5, 0.25, 0.0, 0.5])
+
+    def test_values_clipped_to_unit_range(self):
+        tf = TransferFunction.jet()
+        rgba = tf.sample(np.array([-3.0, 7.0]))
+        assert np.allclose(rgba[0], tf.sample(np.array([0.0]))[0])
+        assert np.allclose(rgba[1], tf.sample(np.array([1.0]))[0])
+
+    def test_opacity_correction_identity_at_base_step(self):
+        tf = TransferFunction.jet()
+        a = tf.sample(np.array([0.7]))
+        b = tf.sample(np.array([0.7]), step=tf.base_step)
+        assert np.allclose(a, b)
+
+    def test_opacity_correction_smaller_step_less_opaque(self):
+        tf = TransferFunction.jet()
+        full = tf.sample(np.array([0.8]))[0, 3]
+        half = tf.sample(np.array([0.8]), step=tf.base_step / 2)[0, 3]
+        assert 0 < half < full
+
+    def test_opacity_correction_preserves_total_opacity(self):
+        """Two half-steps compose to one full step: 1-(1-a)^2 relation."""
+        tf = TransferFunction.jet()
+        a1 = float(tf.sample(np.array([0.6]), step=tf.base_step)[0, 3])
+        ah = float(tf.sample(np.array([0.6]), step=tf.base_step / 2)[0, 3])
+        assert 1 - (1 - ah) ** 2 == pytest.approx(a1, rel=1e-4)
+
+    def test_presets_valid(self):
+        for preset in (
+            TransferFunction.jet(),
+            TransferFunction.vortex(),
+            TransferFunction.mixing(),
+            TransferFunction.grayscale(),
+        ):
+            rgba = preset.sample(np.linspace(0, 1, 64))
+            assert rgba.min() >= 0 and rgba.max() <= 1
+
+    def test_jet_sparse_vortex_dense_classification(self):
+        vals = np.linspace(0, 1, 101)
+        jet_alpha = TransferFunction.jet().sample(vals)[:, 3]
+        vortex_alpha = TransferFunction.vortex().sample(vals)[:, 3]
+        # jet leaves low scalars fully transparent; vortex does not
+        assert jet_alpha[:12].max() == 0.0
+        assert vortex_alpha[10] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferFunction(positions=(0.0,), colors=((0, 0, 0, 0),))
+        with pytest.raises(ValueError):
+            TransferFunction(
+                positions=(0.5, 0.5), colors=((0, 0, 0, 0), (1, 1, 1, 1))
+            )
+        with pytest.raises(ValueError):
+            TransferFunction(
+                positions=(0.0, 1.0), colors=((0, 0, 0, 0), (2, 0, 0, 1))
+            )
+        with pytest.raises(ValueError):
+            TransferFunction(positions=(0.0, 1.0), colors=((0, 0, 0, 0),))

@@ -1,0 +1,161 @@
+"""Unit tests for PPM image I/O and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.render.ppm import read_ppm, write_ppm
+
+
+class TestPPM:
+    def test_color_roundtrip(self, tmp_path, gradient_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(path, gradient_image)
+        assert np.array_equal(read_ppm(path), gradient_image)
+
+    def test_gray_roundtrip(self, tmp_path):
+        img = (np.arange(48).reshape(6, 8) * 5 % 256).astype(np.uint8)
+        path = tmp_path / "img.pgm"
+        write_ppm(path, img)
+        out = read_ppm(path)
+        assert out.ndim == 2
+        assert np.array_equal(out, img)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "t.ppm"
+        write_ppm(path, np.zeros((2, 3, 3), dtype=np.uint8))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 18
+
+    def test_comment_skipped_on_read(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        raster = bytes(range(27))
+        path.write_bytes(b"P6\n# a comment\n3 3\n255\n" + raster)
+        out = read_ppm(path)
+        assert out.shape == (3, 3, 3)
+        assert out.tobytes() == raster
+
+    def test_rejects_bad_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 3), dtype=np.float32))
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 4), dtype=np.uint8))
+
+    def test_rejects_truncated_raster(self, tmp_path):
+        path = tmp_path / "t.ppm"
+        path.write_bytes(b"P6\n4 4\n255\nshort")
+        with pytest.raises(ValueError):
+            read_ppm(path)
+
+    def test_rejects_16bit(self, tmp_path):
+        path = tmp_path / "t.ppm"
+        path.write_bytes(b"P6\n1 1\n65535\n" + bytes(6))
+        with pytest.raises(ValueError):
+            read_ppm(path)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("render", "animate", "partition", "codecs", "simulate"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "frame.ppm"
+        rc = main(
+            [
+                "render", "--scale", "0.2", "--size", "32",
+                "--step", "1", "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        img = read_ppm(out)
+        assert img.shape == (32, 32, 3)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_partition_recommends_l4(self, capsys):
+        rc = main(["partition", "--procs", "32", "--steps", "128"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended: L=4" in out
+
+    def test_simulate_prints_metrics(self, capsys):
+        rc = main(["simulate", "--procs", "16", "--groups", "2", "--steps", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overall" in out and "inter-frame" in out
+
+    def test_simulate_daemon_transport(self, capsys):
+        rc = main(
+            [
+                "simulate", "--transport", "daemon", "--route", "nasa-ucd",
+                "--machine", "o2k", "--procs", "16", "--groups", "4",
+                "--steps", "8",
+            ]
+        )
+        assert rc == 0
+        assert "daemon" in capsys.readouterr().out
+
+    def test_codecs_table(self, capsys):
+        rc = main(["codecs", "--scale", "0.2", "--size", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for method in ("raw", "lzo", "bzip", "jpeg+lzo"):
+            assert method in out
+
+    def test_animate_writes_frames(self, tmp_path, capsys):
+        rc = main(
+            [
+                "animate", "--scale", "0.2", "--size", "32", "--steps", "2",
+                "--group-size", "2", "--codec", "lzo",
+                "--output-dir", str(tmp_path / "anim"),
+            ]
+        )
+        assert rc == 0
+        frames = sorted((tmp_path / "anim").glob("*.ppm"))
+        assert len(frames) == 2
+        assert read_ppm(frames[0]).shape == (32, 32, 3)
+
+    def test_animate_with_pieces(self, capsys):
+        rc = main(
+            [
+                "animate", "--scale", "0.2", "--size", "32", "--steps", "2",
+                "--group-size", "2", "--codec", "lzo", "--pieces", "4",
+            ]
+        )
+        assert rc == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+
+class TestNewCommands:
+    def test_simulate_with_timeline(self, capsys):
+        rc = main(
+            [
+                "simulate", "--procs", "16", "--groups", "4",
+                "--steps", "8", "--timeline",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline timeline" in out
+        assert "group   0 |" in out
+
+    def test_autotune_command(self, capsys):
+        rc = main(["autotune", "--target-fps", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "meets the target" in out
+
+    def test_autotune_impossible_target(self, capsys):
+        rc = main(["autotune", "--target-fps", "9999"])
+        assert rc == 0
+        assert "CANNOT meet" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Unit tests for the codec registry, base image interface, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    CodecError,
+    available_codecs,
+    compression_ratio,
+    get_codec,
+    percent_reduction,
+    psnr,
+)
+
+
+class TestRegistry:
+    def test_paper_codecs_registered(self):
+        names = available_codecs()
+        for required in ("raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"):
+            assert required in names
+
+    def test_case_insensitive(self):
+        assert get_codec("LZO").name == "lzo"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_codec("gzip")
+
+    def test_kwargs_forwarded(self):
+        c = get_codec("jpeg", quality=30)
+        assert c.quality == 30
+
+    def test_two_phase_kwargs(self):
+        c = get_codec("jpeg+lzo", quality=42)
+        assert c.first.quality == 42
+        assert c.name == "jpeg+lzo"
+
+    def test_fresh_instances(self):
+        assert get_codec("lzo") is not get_codec("lzo")
+
+
+class TestRawCodec:
+    def test_identity(self):
+        raw = get_codec("raw")
+        data = b"untouched bytes"
+        assert raw.encode(data) == data
+        assert raw.decode(data) == data
+        assert raw.lossless
+
+
+class TestImageInterface:
+    @pytest.mark.parametrize("name", ["raw", "rle", "lzo", "bzip"])
+    def test_roundtrip_color(self, name, gradient_image):
+        c = get_codec(name)
+        out = c.decode_image(c.encode_image(gradient_image))
+        assert np.array_equal(out, gradient_image)
+
+    @pytest.mark.parametrize("name", ["raw", "lzo"])
+    def test_roundtrip_grayscale(self, name):
+        img = (np.arange(64).reshape(8, 8) * 3 % 256).astype(np.uint8)
+        c = get_codec(name)
+        out = c.decode_image(c.encode_image(img))
+        assert np.array_equal(out, img)
+        assert out.ndim == 2
+
+    def test_rejects_float(self):
+        with pytest.raises(CodecError):
+            get_codec("raw").encode_image(np.zeros((4, 4, 3)))
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(CodecError):
+            get_codec("raw").decode_image(b"nope" + bytes(20))
+
+    def test_rejects_size_mismatch(self, gradient_image):
+        raw = get_codec("raw")
+        payload = bytearray(raw.encode_image(gradient_image))
+        del payload[-5:]
+        with pytest.raises(CodecError):
+            raw.decode_image(bytes(payload))
+
+
+class TestMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_ratio_rejects_zero(self):
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_percent_reduction_96(self):
+        # the paper: "compression rates we have achieved are 96% and up"
+        assert percent_reduction(196608, 2667) > 96.0
+
+    def test_percent_reduction_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percent_reduction(0, 5)
+
+    def test_psnr_identical_is_inf(self):
+        img = np.zeros((4, 4))
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 16.0)
+        # MSE = 256 -> PSNR = 10 log10(255^2/256) = 24.05
+        assert psnr(a, b) == pytest.approx(24.05, abs=0.01)
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,266 @@
+"""Unit tests for partitioning, metrics, the analytic model and the DES."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FrameRecord,
+    PartitionPlan,
+    PerformanceModel,
+    PipelineConfig,
+    RenderingMetrics,
+    candidate_partitions,
+    simulate_pipeline,
+)
+from repro.sim.cluster import NASA_O2K, NASA_TO_UCD, O2_CLIENT, RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+class TestPartitionPlan:
+    def test_uniform_groups(self):
+        plan = PartitionPlan(16, 4)
+        assert plan.group_sizes == (4, 4, 4, 4)
+        assert plan.uniform
+        assert plan.group_size == 4
+
+    def test_non_uniform_groups(self):
+        plan = PartitionPlan(10, 3)
+        assert plan.group_sizes == (4, 3, 3)
+        assert not plan.uniform
+
+    def test_members_contiguous_and_complete(self):
+        plan = PartitionPlan(10, 3)
+        all_ranks = []
+        for g in range(3):
+            all_ranks.extend(plan.members(g))
+        assert all_ranks == list(range(10))
+
+    def test_group_of_rank(self):
+        plan = PartitionPlan(10, 3)
+        for g in range(3):
+            for r in plan.members(g):
+                assert plan.group_of_rank(r) == g
+
+    def test_round_robin_steps(self):
+        plan = PartitionPlan(8, 4)
+        assert list(plan.steps_of_group(1, 10)) == [1, 5, 9]
+        assert plan.group_of_step(7) == 3
+
+    def test_steps_partition_exactly(self):
+        plan = PartitionPlan(8, 3)
+        seen = sorted(
+            t for g in range(3) for t in plan.steps_of_group(g, 20)
+        )
+        assert seen == list(range(20))
+
+    def test_kind_classification(self):
+        assert PartitionPlan(8, 1).kind == "intra-volume"
+        assert PartitionPlan(8, 8).kind == "inter-volume"
+        assert PartitionPlan(8, 4).kind == "hybrid"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionPlan(0, 1)
+        with pytest.raises(ValueError):
+            PartitionPlan(4, 5)
+        with pytest.raises(ValueError):
+            PartitionPlan(4, 0)
+        with pytest.raises(IndexError):
+            PartitionPlan(4, 2).members(2)
+        with pytest.raises(IndexError):
+            PartitionPlan(4, 2).group_of_rank(4)
+
+    def test_candidate_partitions_powers(self):
+        assert candidate_partitions(64) == [1, 2, 4, 8, 16, 32, 64]
+        assert candidate_partitions(48) == [1, 2, 4, 8, 16, 32]
+
+    def test_candidate_partitions_divisors(self):
+        assert candidate_partitions(12, powers_of_two=False) == [1, 2, 3, 4, 6, 12]
+
+
+class TestMetrics:
+    def make_frames(self, displayed):
+        return [
+            FrameRecord(time_step=t, group=0, displayed=d)
+            for t, d in enumerate(displayed)
+        ]
+
+    def test_three_metrics(self):
+        m = RenderingMetrics.from_frames(self.make_frames([2.0, 3.0, 5.0]))
+        assert m.start_up_latency == 2.0
+        assert m.overall_time == 5.0
+        assert m.inter_frame_delay == pytest.approx(1.5)
+        assert m.frame_rate == pytest.approx(1 / 1.5)
+
+    def test_single_frame(self):
+        m = RenderingMetrics.from_frames(self.make_frames([4.0]))
+        assert m.start_up_latency == m.overall_time == 4.0
+        assert m.inter_frame_delay == 0.0
+
+    def test_frames_sorted_by_step(self):
+        frames = list(reversed(self.make_frames([1.0, 2.0, 3.0])))
+        m = RenderingMetrics.from_frames(frames)
+        assert [f.time_step for f in m.frames] == [0, 1, 2]
+
+    def test_rejects_missing_timestamps(self):
+        with pytest.raises(ValueError):
+            RenderingMetrics.from_frames(
+                [FrameRecord(time_step=0, group=0)]
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RenderingMetrics.from_frames([])
+
+    def test_summary_format(self):
+        m = RenderingMetrics.from_frames(self.make_frames([1.0, 2.0]))
+        s = m.summary()
+        assert "start-up=1.000s" in s and "overall=2.000s" in s
+
+
+class TestPerformanceModel:
+    @pytest.fixture
+    def model(self):
+        return PerformanceModel(
+            machine=RWCP_CLUSTER, profile=JET_PROFILE, pixels=256 * 256
+        )
+
+    def test_predicts_optimum_L4(self, model):
+        for procs in (16, 32, 64):
+            best, _ = model.optimal_partition(procs, 128)
+            assert best == 4, procs
+
+    def test_startup_monotone_in_L(self, model):
+        startups = [
+            model.predict(PartitionPlan(32, l), 128).start_up_latency
+            for l in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(startups, startups[1:]))
+
+    def test_overall_bounds(self, model):
+        m = model.predict(PartitionPlan(32, 4), 64)
+        assert m.start_up_latency <= m.overall_time
+        assert m.inter_frame_delay > 0
+
+    def test_single_step(self, model):
+        m = model.predict(PartitionPlan(16, 2), 1)
+        assert m.overall_time == m.start_up_latency
+
+    def test_agrees_with_simulation_within_tolerance(self, model):
+        """The analytic model tracks the DES within ~25% at moderate L."""
+        for l_groups in (1, 2, 4, 8):
+            predicted = model.predict(PartitionPlan(32, l_groups), 64)
+            simulated = simulate_pipeline(
+                PipelineConfig(
+                    n_procs=32,
+                    n_groups=l_groups,
+                    n_steps=64,
+                    profile=JET_PROFILE,
+                    machine=RWCP_CLUSTER,
+                    image_size=(256, 256),
+                )
+            ).metrics
+            rel = abs(predicted.overall_time - simulated.overall_time)
+            rel /= simulated.overall_time
+            assert rel < 0.25, (l_groups, predicted.overall_time, simulated.overall_time)
+
+    def test_transport_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(
+                machine=NASA_O2K,
+                profile=JET_PROFILE,
+                pixels=65536,
+                transport="daemon",
+            ).output_shared_s()
+
+
+class TestSimulatePipeline:
+    def make_config(self, **kw):
+        base = dict(
+            n_procs=16,
+            n_groups=4,
+            n_steps=32,
+            profile=JET_PROFILE,
+            machine=RWCP_CLUSTER,
+            image_size=(256, 256),
+            transport="store",
+        )
+        base.update(kw)
+        return PipelineConfig(**base)
+
+    def test_deterministic(self):
+        a = simulate_pipeline(self.make_config())
+        b = simulate_pipeline(self.make_config())
+        assert a.overall_time == b.overall_time
+        assert a.metrics.inter_frame_delay == b.metrics.inter_frame_delay
+
+    def test_all_frames_complete_in_order(self):
+        result = simulate_pipeline(self.make_config())
+        displayed = [f.displayed for f in result.metrics.frames]
+        assert len(displayed) == 32
+        assert all(a <= b for a, b in zip(displayed, displayed[1:]))
+
+    def test_stage_ordering_per_frame(self):
+        result = simulate_pipeline(self.make_config())
+        for f in result.metrics.frames:
+            assert f.read_start <= f.read_end <= f.render_start
+            assert f.render_start <= f.render_end <= f.output_start
+            assert f.output_start <= f.displayed
+
+    def test_pipelining_beats_serial_execution(self):
+        """Overlapped stages finish faster than the sum of stage times."""
+        result = simulate_pipeline(self.make_config(n_groups=1))
+        f = result.metrics.frames[1]
+        serial_per_frame = (
+            (f.read_end - f.read_start)
+            + (f.render_end - f.render_start)
+            + (f.displayed - f.output_start)
+        )
+        assert result.metrics.inter_frame_delay < serial_per_frame
+
+    def test_more_processors_faster(self):
+        slow = simulate_pipeline(self.make_config(n_procs=8, n_groups=2))
+        fast = simulate_pipeline(self.make_config(n_procs=32, n_groups=4))
+        assert fast.overall_time < slow.overall_time
+
+    def test_utilization_probes(self):
+        result = simulate_pipeline(self.make_config())
+        assert 0.0 < result.storage_utilization <= 1.0
+        assert 0.0 <= result.output_utilization <= 1.0
+
+    def test_daemon_transport_runs(self):
+        result = simulate_pipeline(
+            self.make_config(
+                machine=NASA_O2K,
+                transport="daemon",
+                route=NASA_TO_UCD,
+                client=O2_CLIENT,
+                n_steps=16,
+            )
+        )
+        assert result.overall_time > 0
+        assert math.isfinite(result.metrics.inter_frame_delay)
+
+    def test_x_transport_much_slower_than_daemon(self):
+        common = dict(
+            machine=NASA_O2K, route=NASA_TO_UCD, client=O2_CLIENT, n_steps=16
+        )
+        x = simulate_pipeline(self.make_config(transport="x", **common))
+        d = simulate_pipeline(self.make_config(transport="daemon", **common))
+        assert x.overall_time > 1.5 * d.overall_time
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            self.make_config(transport="daemon")  # no route
+        with pytest.raises(ValueError):
+            self.make_config(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            self.make_config(n_steps=0)
+        with pytest.raises(ValueError):
+            self.make_config(input_buffer=0)
+
+    def test_single_step_single_group(self):
+        result = simulate_pipeline(self.make_config(n_steps=1, n_groups=1))
+        assert result.metrics.n_frames == 1
+        assert result.start_up_latency == result.overall_time

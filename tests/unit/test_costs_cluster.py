@@ -1,0 +1,205 @@
+"""Unit tests for the calibrated cost models and machine/route specs."""
+
+import pytest
+
+from repro.net import XDisplayModel, get_route, lan_route
+from repro.sim.cluster import (
+    NASA_O2K,
+    NASA_TO_UCD,
+    O2_CLIENT,
+    RWCP_CLUSTER,
+    RWCP_TO_UCD,
+)
+from repro.sim.costs import (
+    JET_PROFILE,
+    MIXING_PROFILE,
+    VORTEX_PROFILE,
+    CostModel,
+    DatasetProfile,
+)
+
+
+class TestProfiles:
+    def test_jet_bytes_per_step(self):
+        assert JET_PROFILE.bytes_per_step == 129 * 129 * 104 * 4
+
+    def test_mixing_counts_components(self):
+        assert MIXING_PROFILE.bytes_per_step == 640 * 256 * 256 * 3 * 4
+
+    def test_vortex_is_high_entropy(self):
+        assert VORTEX_PROFILE.image_entropy > JET_PROFILE.image_entropy
+
+
+class TestRenderCosts:
+    def test_single_processor_jet_10_to_20s(self):
+        """§6: '10 to 20 seconds … an image of 256x256 pixels using a
+        single processor' — on both test machines."""
+        for machine in (NASA_O2K, RWCP_CLUSTER):
+            t1 = machine.costs.single_processor_render_s(JET_PROFILE, 256 * 256)
+            assert 10.0 <= t1 <= 20.0, machine.name
+
+    def test_imbalance_monotone_in_group_size(self):
+        c = CostModel()
+        values = [c.imbalance(g) for g in (1, 2, 4, 8, 16, 32, 64)]
+        assert values[0] == 1.0
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_group_render_speedup_sublinear(self):
+        c = CostModel()
+        t1 = c.group_render_s(JET_PROFILE, 65536, 1)
+        t16 = c.group_render_s(JET_PROFILE, 65536, 16)
+        assert t1 / 16 < t16 < t1  # faster than serial, slower than ideal
+
+    def test_composite_zero_for_single(self):
+        assert CostModel().composite_s(65536, 1) == 0.0
+
+    def test_composite_grows_with_group(self):
+        c = CostModel()
+        assert c.composite_s(65536, 16) > c.composite_s(65536, 4)
+
+    def test_mixing_renders_slower_than_jet(self):
+        """§6: the 16x-larger mixing dataset 'takes longer to render'."""
+        c = NASA_O2K.costs
+        jet = c.single_processor_render_s(JET_PROFILE, 512 * 512)
+        mixing = c.single_processor_render_s(MIXING_PROFILE, 512 * 512)
+        assert mixing > 1.3 * jet
+
+    def test_vortex_renders_faster_than_jet(self):
+        """High opacity → early ray termination → cheaper frames."""
+        c = NASA_O2K.costs
+        assert c.single_processor_render_s(
+            VORTEX_PROFILE, 512 * 512
+        ) < c.single_processor_render_s(JET_PROFILE, 512 * 512)
+
+
+class TestIOCosts:
+    def test_read_time_positive_and_scales(self):
+        c = CostModel()
+        assert c.volume_read_s(MIXING_PROFILE) > c.volume_read_s(JET_PROFILE)
+
+    def test_stream_interference_grows_then_caps(self):
+        c = CostModel()
+        r1 = c.volume_read_s(JET_PROFILE, 1)
+        r4 = c.volume_read_s(JET_PROFILE, 4)
+        r13 = c.volume_read_s(JET_PROFILE, 13)
+        r50 = c.volume_read_s(JET_PROFILE, 50)
+        assert r1 < r4 < r13
+        assert r13 == r50  # capped
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            CostModel().volume_read_s(JET_PROFILE, 0)
+
+
+class TestCompressionCosts:
+    def test_compress_matches_paper_range(self):
+        """§6: 6 ms at 128² … 500 ms at 1024²."""
+        c = NASA_O2K.costs
+        assert 0.003 <= c.compress_s(128 * 128) <= 0.012
+        assert 0.3 <= c.compress_s(1024 * 1024) <= 0.7
+
+    def test_decompress_matches_paper_range(self):
+        """§6: 12 ms at 128² … 600 ms at 1024² on the O2."""
+        c = O2_CLIENT.costs
+        assert 0.008 <= c.decompress_s(128 * 128) <= 0.018
+        assert 0.45 <= c.decompress_s(1024 * 1024) <= 0.75
+
+    def test_parallel_compression_divides_work(self):
+        c = CostModel()
+        assert c.compress_s(65536, 8) < c.compress_s(65536, 1) / 4
+
+    def test_figure10_shape(self):
+        """2–8 pieces decode faster than 1; ≥16 pieces decode slower."""
+        c = O2_CLIENT.costs
+        px = 512 * 512
+        one = c.decompress_s(px, 1)
+        assert c.decompress_s(px, 2) < one
+        assert c.decompress_s(px, 4) < one
+        assert c.decompress_s(px, 8) < one
+        assert c.decompress_s(px, 16) > one
+        assert c.decompress_s(px, 64) > c.decompress_s(px, 16)
+
+    def test_table1_anchor_sizes(self):
+        """compressed_frame_bytes reproduces Table 1's JPEG+LZO row."""
+        c = CostModel()
+        for pixels, expected in [
+            (128 * 128, 1282),
+            (256 * 256, 2667),
+            (512 * 512, 6705),
+            (1024 * 1024, 18484),
+        ]:
+            assert c.compressed_frame_bytes(pixels, JET_PROFILE) == pytest.approx(
+                expected, rel=0.01
+            )
+
+    def test_sub_images_compress_worse(self):
+        c = CostModel()
+        one = c.compressed_frame_bytes(65536, JET_PROFILE, 1)
+        many = c.compressed_frame_bytes(65536, JET_PROFILE, 16)
+        assert many > one
+
+    def test_compression_over_96_percent(self):
+        """The paper: 'The compression rates we have achieved are 96% and
+        up' — raw 24-bit frames vs JPEG+LZO payloads."""
+        c = CostModel()
+        for pixels in (128 * 128, 256 * 256, 512 * 512, 1024 * 1024):
+            raw = pixels * 3
+            comp = c.compressed_frame_bytes(pixels, JET_PROFILE)
+            assert 1 - comp / raw > 0.96
+
+
+class TestRoutes:
+    def test_transfer_monotone_in_bytes(self):
+        for route in (NASA_TO_UCD, RWCP_TO_UCD):
+            times = [route.transfer_s(n) for n in (0, 1e3, 1e5, 1e6)]
+            assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_japan_slower_than_nasa(self):
+        """Fig 11: Japan route 'almost twice longer' per frame."""
+        n = 256 * 256 * 3
+        ratio = RWCP_TO_UCD.transfer_s(n) / NASA_TO_UCD.transfer_s(n)
+        assert 1.5 < ratio < 2.6
+
+    def test_burst_gives_small_frames_higher_throughput(self):
+        small = 49152
+        big = 786432
+        tp_small = small / NASA_TO_UCD.transfer_s(small)
+        tp_big = big / NASA_TO_UCD.transfer_s(big)
+        assert tp_small > 2 * tp_big
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NASA_TO_UCD.transfer_s(-1)
+
+    def test_route_registry(self):
+        assert get_route("nasa-ucd") is NASA_TO_UCD
+        assert get_route("RWCP-UCD") is RWCP_TO_UCD
+        with pytest.raises(KeyError):
+            get_route("mars")
+
+    def test_lan_route_uniform(self):
+        lan = lan_route(10e6)
+        assert lan.transfer_s(1e6) == pytest.approx(0.001 + 0.1)
+
+    def test_lan_validation(self):
+        with pytest.raises(ValueError):
+            lan_route(0)
+
+
+class TestXDisplay:
+    @pytest.fixture
+    def model(self):
+        return XDisplayModel(route=NASA_TO_UCD, client=O2_CLIENT)
+
+    def test_table2_x_row(self, model):
+        """X frame rates NASA→UCD: 7.7 / 0.5 / 0.1 / 0.03 fps."""
+        assert model.frame_rate(128 * 128) == pytest.approx(7.7, rel=0.4)
+        assert model.frame_rate(256 * 256) == pytest.approx(0.5, rel=0.25)
+        assert model.frame_rate(512 * 512) == pytest.approx(0.1, rel=0.25)
+        assert model.frame_rate(1024 * 1024) == pytest.approx(0.03, rel=0.45)
+
+    def test_frame_bytes_24bit(self, model):
+        assert model.frame_bytes(100) == 300
+
+    def test_display_cost_included(self, model):
+        assert model.frame_time_s(65536) > model.transfer_s(65536)

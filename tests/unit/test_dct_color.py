@@ -1,0 +1,161 @@
+"""Unit tests for the DCT/quantization and color-space building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.compress.color import (
+    downsample_420,
+    pad_to_multiple,
+    rgb_to_ycbcr,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.compress.dct import (
+    BLOCK,
+    STD_LUMA_QUANT,
+    blockize,
+    dct2_blocks,
+    idct2_blocks,
+    quant_tables,
+    unblockize,
+    zigzag_indices,
+)
+
+
+class TestDCT:
+    def test_inverse_is_exact(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(0, 50, (10, 8, 8)).astype(np.float32)
+        back = idct2_blocks(dct2_blocks(blocks))
+        assert np.allclose(back, blocks, atol=1e-3)
+
+    def test_constant_block_has_only_dc(self):
+        blocks = np.full((1, 8, 8), 17.0, dtype=np.float32)
+        coeffs = dct2_blocks(blocks)
+        assert abs(coeffs[0, 0, 0] - 17.0 * 8) < 1e-3
+        rest = coeffs.copy()
+        rest[0, 0, 0] = 0
+        assert np.abs(rest).max() < 1e-3
+
+    def test_energy_preservation(self):
+        """Orthonormal transform preserves the L2 norm (Parseval)."""
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(0, 10, (5, 8, 8)).astype(np.float32)
+        coeffs = dct2_blocks(blocks)
+        assert np.allclose(
+            (blocks**2).sum(axis=(1, 2)),
+            (coeffs**2).sum(axis=(1, 2)),
+            rtol=1e-4,
+        )
+
+    def test_smooth_block_concentrates_low_frequencies(self):
+        x = np.linspace(0, 1, 8, dtype=np.float32)
+        block = (x[:, None] + x[None, :])[None] * 100
+        coeffs = np.abs(dct2_blocks(block))[0]
+        low_energy = (coeffs[:2, :2] ** 2).sum()
+        assert low_energy > 0.99 * (coeffs**2).sum()
+
+
+class TestBlockize:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        plane = rng.normal(size=(24, 40)).astype(np.float32)
+        blocks, bh, bw = blockize(plane)
+        assert blocks.shape == (bh * bw, 8, 8) == (15, 8, 8)
+        assert np.array_equal(unblockize(blocks, bh, bw), plane)
+
+    def test_block_content_matches_region(self):
+        plane = np.arange(16 * 16, dtype=np.float32).reshape(16, 16)
+        blocks, bh, bw = blockize(plane)
+        assert np.array_equal(blocks[0], plane[:8, :8])
+        assert np.array_equal(blocks[1], plane[:8, 8:16])
+        assert np.array_equal(blocks[2], plane[8:, :8])
+
+    def test_rejects_non_multiple_dims(self):
+        with pytest.raises(ValueError):
+            blockize(np.zeros((10, 16), dtype=np.float32))
+
+
+class TestZigzag:
+    def test_permutation_of_64(self):
+        zz = zigzag_indices()
+        assert sorted(zz.tolist()) == list(range(64))
+
+    def test_standard_prefix(self):
+        zz = zigzag_indices()
+        # (0,0) (0,1) (1,0) (2,0) (1,1) (0,2) ...
+        assert zz[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+    def test_ends_at_bottom_right(self):
+        assert zigzag_indices()[-1] == 63
+
+
+class TestQuantTables:
+    def test_quality_50_is_reference(self):
+        luma, _ = quant_tables(50)
+        assert np.array_equal(luma, STD_LUMA_QUANT)
+
+    def test_higher_quality_is_finer(self):
+        q30, _ = quant_tables(30)
+        q90, _ = quant_tables(90)
+        assert (q90 <= q30).all()
+        assert q90.sum() < q30.sum()
+
+    def test_quality_100_is_all_ones(self):
+        luma, chroma = quant_tables(100)
+        assert luma.min() >= 1 and luma.max() == 1
+        assert chroma.max() == 1
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            quant_tables(0)
+        with pytest.raises(ValueError):
+            quant_tables(101)
+
+
+class TestColor:
+    def test_roundtrip_close(self):
+        rng = np.random.default_rng(3)
+        rgb = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+    def test_gray_has_neutral_chroma(self):
+        gray = np.full((4, 4, 3), 77, dtype=np.uint8)
+        ycc = rgb_to_ycbcr(gray)
+        assert np.allclose(ycc[..., 1], 128, atol=0.5)
+        assert np.allclose(ycc[..., 2], 128, atol=0.5)
+        assert np.allclose(ycc[..., 0], 77, atol=0.5)
+
+    def test_downsample_halves_dims(self):
+        plane = np.arange(8 * 6, dtype=np.float32).reshape(8, 6)
+        down = downsample_420(plane)
+        assert down.shape == (4, 3)
+        assert down[0, 0] == pytest.approx(plane[:2, :2].mean())
+
+    def test_downsample_odd_dims(self):
+        plane = np.ones((5, 7), dtype=np.float32)
+        assert downsample_420(plane).shape == (3, 4)
+
+    def test_upsample_inverts_shape(self):
+        plane = np.arange(12, dtype=np.float32).reshape(3, 4)
+        up = upsample_420(plane, (6, 8))
+        assert up.shape == (6, 8)
+        assert up[0, 0] == up[1, 1] == plane[0, 0]
+
+    def test_upsample_crops_to_odd(self):
+        plane = np.ones((3, 4), dtype=np.float32)
+        assert upsample_420(plane, (5, 7)).shape == (5, 7)
+
+    def test_pad_to_multiple(self):
+        plane = np.arange(6, dtype=np.float32).reshape(2, 3)
+        padded = pad_to_multiple(plane, 8)
+        assert padded.shape == (8, 8)
+        assert np.array_equal(padded[:2, :3], plane)
+        # edge replication
+        assert padded[0, 3] == plane[0, 2]
+        assert padded[5, 0] == plane[1, 0]
+
+    def test_pad_noop_when_aligned(self):
+        plane = np.zeros((16, 8), dtype=np.float32)
+        assert pad_to_multiple(plane, 8) is plane

@@ -1,0 +1,224 @@
+"""Unit tests for the §7.1 extensions: fast decode, parallel I/O, IBR,
+preview mode, and the co-processing scenario analysis."""
+
+import numpy as np
+import pytest
+
+from repro.compress import JPEGCodec, psnr
+from repro.compress.dct import BLOCK, dct2_blocks, partial_idct_blocks
+from repro.core import (
+    CoprocessConfig,
+    PipelineConfig,
+    simulate_pipeline,
+    simulate_scenario,
+)
+from repro.render import Camera, IBRClient, TransferFunction, build_view_set, render_volume, to_display_rgb
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+class TestPartialIDCT:
+    def test_k8_is_exact_inverse(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(0, 40, (6, 8, 8)).astype(np.float32)
+        coeffs = dct2_blocks(blocks)
+        assert np.allclose(partial_idct_blocks(coeffs, 8), blocks, atol=1e-3)
+
+    def test_k1_returns_block_mean(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(0, 40, (4, 8, 8)).astype(np.float32)
+        coeffs = dct2_blocks(blocks)
+        means = partial_idct_blocks(coeffs, 1)
+        assert means.shape == (4, 1, 1)
+        assert np.allclose(means[:, 0, 0], blocks.mean(axis=(1, 2)), atol=1e-3)
+
+    def test_k4_approximates_downsample(self):
+        # a smooth ramp: the 4-point reconstruction should be close to
+        # 2x2 block averages
+        x = np.linspace(0, 100, 8, dtype=np.float32)
+        block = (x[:, None] + x[None, :])[None]
+        coeffs = dct2_blocks(block)
+        small = partial_idct_blocks(coeffs, 4)[0]
+        down = block[0].reshape(4, 2, 4, 2).mean(axis=(1, 3))
+        # truncating the cosine series ripples at block edges (~3 units
+        # on a 0-200 ramp); interior and mean stay tight
+        assert np.abs(small - down).max() < 4.0
+        assert np.abs(small - down).mean() < 2.0
+
+    def test_mean_preserved_at_all_k(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.normal(10, 30, (3, 8, 8)).astype(np.float32)
+        coeffs = dct2_blocks(blocks)
+        for k in (1, 2, 4, 8):
+            out = partial_idct_blocks(coeffs, k)
+            assert np.allclose(
+                out.mean(axis=(1, 2)), blocks.mean(axis=(1, 2)), atol=0.01
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partial_idct_blocks(np.zeros((1, 8, 8)), 3)
+
+
+class TestJPEGFastDecode:
+    def test_quality_ladder(self, gradient_image):
+        payload = JPEGCodec(quality=80).encode_image(gradient_image)
+        quality = []
+        for level in (0, 1, 2, 3):
+            out = JPEGCodec(quality=80, fast_decode=level).decode_image(payload)
+            assert out.shape == gradient_image.shape  # dims preserved
+            quality.append(psnr(gradient_image, out))
+        assert quality[0] > quality[1] > quality[2] > quality[3]
+        assert quality[3] > 15.0  # DC-only is still recognizable
+
+    def test_same_payload_both_decoders(self, gradient_image):
+        """Fast decode is a decoder-side knob: the stream is unchanged."""
+        exact = JPEGCodec(quality=70)
+        fast = JPEGCodec(quality=70, fast_decode=2)
+        payload = exact.encode_image(gradient_image)
+        assert fast.encode_image(gradient_image) == payload
+        fast.decode_image(payload)  # no error
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JPEGCodec(fast_decode=4)
+
+
+class TestParallelIO:
+    def config(self, io_servers, n_groups=8):
+        return PipelineConfig(
+            n_procs=64,
+            n_groups=n_groups,
+            n_steps=64,
+            profile=JET_PROFILE,
+            machine=RWCP_CLUSTER,
+            image_size=(256, 256),
+            io_servers=io_servers,
+        )
+
+    def test_parallel_io_improves_overall(self):
+        """§7.1: 'Parallel I/O, if available … would improve the overall
+        system performance.'"""
+        serial = simulate_pipeline(self.config(1)).overall_time
+        parallel = simulate_pipeline(self.config(4)).overall_time
+        assert parallel < serial
+
+    def test_more_servers_monotone(self):
+        times = [
+            simulate_pipeline(self.config(n)).overall_time for n in (1, 2, 4, 8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_no_effect_when_not_io_bound(self):
+        slow_render = simulate_pipeline(self.config(1, n_groups=1)).overall_time
+        with_io = simulate_pipeline(self.config(8, n_groups=1)).overall_time
+        assert with_io == pytest.approx(slow_render, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.config(0)
+
+
+class TestIBR:
+    @pytest.fixture(scope="class")
+    def view_set(self, jet_volume):
+        return build_view_set(
+            jet_volume,
+            TransferFunction.jet(),
+            time_step=0,
+            image_size=(48, 48),
+            azimuths=(0.0, 45.0, 90.0, 135.0),
+            elevation=20.0,
+            codec="lzo",  # lossless so stored views are exact
+        )
+
+    def test_view_set_structure(self, view_set):
+        assert view_set.n_views == 4
+        assert view_set.total_bytes > 0
+        assert view_set.angles()[0] == (0.0, 20.0)
+
+    def test_reconstruct_at_stored_angle_is_exact(self, view_set, jet_volume):
+        client = IBRClient(view_set)
+        out = client.reconstruct(45.0, 20.0)
+        cam = Camera(image_size=(48, 48), azimuth=45.0, elevation=20.0)
+        direct = to_display_rgb(
+            render_volume(jet_volume, TransferFunction.jet(), cam)
+        )
+        assert np.array_equal(out, direct)
+
+    def test_reconstruct_between_angles(self, view_set, jet_volume):
+        client = IBRClient(view_set)
+        out = client.reconstruct(22.0, 20.0)
+        cam = Camera(image_size=(48, 48), azimuth=22.0, elevation=20.0)
+        truth = to_display_rgb(
+            render_volume(jet_volume, TransferFunction.jet(), cam)
+        ).astype(np.float64)
+        corr = np.corrcoef(out.astype(np.float64).ravel(), truth.ravel())[0, 1]
+        assert corr > 0.7  # blended views approximate the true render
+
+    def test_nearest_views(self, view_set):
+        client = IBRClient(view_set)
+        nearest = client.nearest_views(40.0, 20.0, k=2)
+        assert nearest[0][1] == (45.0, 20.0)
+        assert nearest[1][1] == (0.0, 20.0) or nearest[1][1] == (90.0, 20.0)
+
+    def test_wire_cost_amortizes_over_views(self, view_set):
+        """One set upload vs per-interaction frames: the set pays for
+        itself after n_views interactions."""
+        per_frame = view_set.total_bytes / view_set.n_views
+        client = IBRClient(view_set)
+        # 20 interactions cost nothing beyond the initial set
+        for az in np.linspace(0, 130, 20):
+            client.reconstruct(float(az), 20.0)
+        assert view_set.total_bytes < per_frame * 21
+
+
+class TestCoprocess:
+    def config(self, **kw):
+        base = dict(
+            n_procs=64,
+            n_steps=32,
+            profile=JET_PROFILE,
+            machine=RWCP_CLUSTER,
+            sim_step_seconds=2.0,
+            image_size=(256, 256),
+            viz_procs=8,
+        )
+        base.update(kw)
+        return CoprocessConfig(**base)
+
+    def test_postprocess_minimal_slowdown(self):
+        r = simulate_scenario(self.config(), "postprocess")
+        assert r.simulation_slowdown < 1.2
+        assert r.metrics is None
+
+    def test_share_slows_simulation(self):
+        """The paper's objection: competing for the same processors."""
+        r = simulate_scenario(self.config(), "coprocess-share")
+        assert r.simulation_slowdown > simulate_scenario(
+            self.config(), "postprocess"
+        ).simulation_slowdown
+        assert r.metrics is not None
+        assert r.metrics.n_frames == 32
+
+    def test_partition_slowdown_scales_with_viz_share(self):
+        small = simulate_scenario(self.config(viz_procs=4), "coprocess-partition")
+        big = simulate_scenario(self.config(viz_procs=32), "coprocess-partition")
+        assert small.simulation_slowdown < big.simulation_slowdown
+        # static split costs at least its processor share
+        assert small.simulation_slowdown >= 64 / 60 - 1e-6
+
+    def test_partition_renders_all_frames(self):
+        r = simulate_scenario(self.config(), "coprocess-partition")
+        assert r.metrics.n_frames == 32
+        assert r.last_frame_time >= r.simulation_time - 1e-9
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            simulate_scenario(self.config(), "magic")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.config(viz_procs=64)
+        with pytest.raises(ValueError):
+            self.config(sim_step_seconds=0)

@@ -1,0 +1,64 @@
+"""Unit tests for the temporal-stability (flicker) analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec
+from repro.compress.flicker import FlickerReport, measure_flicker
+
+
+def make_animation(n=3, size=48, move=True):
+    frames = []
+    for k in range(n):
+        yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+        img = np.clip(
+            np.stack(
+                [120 + 90 * np.sin(xx / 7), yy * 2, (xx + yy) % 256], axis=-1
+            ),
+            0,
+            255,
+        ).astype(np.uint8)
+        if move:
+            img[10 + 3 * k : 18 + 3 * k, 5:13] = 255
+        frames.append(img)
+    return frames
+
+
+class TestMeasureFlicker:
+    def test_lossless_codec_has_zero_flicker(self):
+        rep = measure_flicker(make_animation(), get_codec("lzo"))
+        assert rep.excess_temporal_rms == 0.0
+        assert rep.static_region_rms == 0.0
+        assert rep.psnr_std == 0.0
+        assert not rep.visible
+
+    def test_lossy_codec_has_some_flicker(self):
+        rep = measure_flicker(make_animation(), get_codec("jpeg", quality=50))
+        assert rep.excess_temporal_rms > 0.0
+
+    def test_lower_quality_more_flicker(self):
+        frames = make_animation()
+        hi = measure_flicker(frames, get_codec("jpeg", quality=90))
+        lo = measure_flicker(frames, get_codec("jpeg", quality=15))
+        assert lo.static_region_rms > hi.static_region_rms
+
+    def test_static_scene_flicker_is_zero_even_for_lossy(self):
+        """Identical frames decode identically: deterministic codecs add
+        constant loss, not temporal noise."""
+        frames = make_animation(move=False)
+        rep = measure_flicker(frames, get_codec("jpeg", quality=40))
+        assert rep.excess_temporal_rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_frame_count_recorded(self):
+        rep = measure_flicker(make_animation(n=5), get_codec("lzo"))
+        assert rep.n_frames == 5
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            measure_flicker(make_animation(n=1), get_codec("lzo"))
+
+    def test_report_visibility_threshold(self):
+        quiet = FlickerReport(0.1, 0.5, 0.0, 2)
+        loud = FlickerReport(3.0, 1.5, 0.2, 2)
+        assert not quiet.visible
+        assert loud.visible

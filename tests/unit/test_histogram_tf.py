@@ -1,0 +1,85 @@
+"""Unit tests for histogram analysis and automatic transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.render import Camera, render_volume
+from repro.render.histogram import (
+    opacity_profile,
+    suggest_transfer_function,
+    volume_histogram,
+)
+
+
+class TestVolumeHistogram:
+    def test_counts_sum_to_voxels(self, jet_volume):
+        counts, edges = volume_histogram(jet_volume)
+        assert counts.sum() == jet_volume.size
+        assert edges[0] == 0.0 and edges[-1] == 1.0
+
+    def test_bins_respected(self, jet_volume):
+        counts, edges = volume_histogram(jet_volume, bins=17)
+        assert counts.size == 17
+        assert edges.size == 18
+
+    def test_constant_volume_single_bin(self):
+        vol = np.full((8, 8, 8), 0.5, dtype=np.float32)
+        counts, _ = volume_histogram(vol, bins=10)
+        assert counts[5] == vol.size
+        assert counts.sum() == vol.size
+
+
+class TestOpacityProfile:
+    def test_range_and_shape(self, jet_volume):
+        w = opacity_profile(jet_volume, bins=32)
+        assert w.shape == (32,)
+        assert w.min() >= 0.0 and w.max() <= 1.0
+
+    def test_background_suppressed(self, jet_volume):
+        """The jet's dominant near-zero background must stay transparent."""
+        counts, _ = volume_histogram(jet_volume, bins=32)
+        w = opacity_profile(jet_volume, bins=32)
+        assert w[np.argmax(counts)] == 0.0
+
+    def test_rare_values_emphasized(self, jet_volume):
+        counts, _ = volume_histogram(jet_volume, bins=32)
+        w = opacity_profile(jet_volume, bins=32)
+        occupied = counts > 0
+        rare_bin = np.argmin(np.where(occupied, counts, np.iinfo(np.int64).max))
+        assert w[rare_bin] == w.max()
+
+    def test_empty_bins_zero(self):
+        vol = np.full((6, 6, 6), 0.25, dtype=np.float32)
+        w = opacity_profile(vol, bins=8)
+        assert w[0] == 0.0 and w[-1] == 0.0
+
+
+class TestSuggestTransferFunction:
+    def test_produces_valid_tf(self, jet_volume):
+        tf = suggest_transfer_function(jet_volume)
+        rgba = tf.sample(np.linspace(0, 1, 50))
+        assert rgba.min() >= 0.0 and rgba.max() <= 1.0
+
+    def test_renderable_and_shows_features(self, jet_volume, small_camera):
+        tf = suggest_transfer_function(jet_volume)
+        img = render_volume(jet_volume, tf, small_camera)
+        alpha = img[..., 3]
+        # features visible, background dominated by transparency
+        assert alpha.max() > 0.05
+        assert (alpha < 0.02).mean() > 0.4
+
+    def test_max_opacity_respected(self, jet_volume):
+        tf = suggest_transfer_function(jet_volume, max_opacity=0.25)
+        rgba = tf.sample(np.linspace(0, 1, 200))
+        assert rgba[:, 3].max() <= 0.25 + 1e-6
+
+    def test_gray_mode(self, jet_volume):
+        tf = suggest_transfer_function(jet_volume, warm=False)
+        rgba = tf.sample(np.asarray([0.9]))
+        r, g, b, _ = rgba[0]
+        assert r == pytest.approx(g, abs=1e-5)
+        assert g == pytest.approx(b, abs=1e-5)
+
+    def test_validation(self, jet_volume):
+        with pytest.raises(ValueError):
+            suggest_transfer_function(jet_volume, max_opacity=0.0)

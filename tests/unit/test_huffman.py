@@ -1,0 +1,153 @@
+"""Unit tests for canonical Huffman coding."""
+
+import numpy as np
+import pytest
+
+from repro.compress.base import CodecError
+from repro.compress.huffman import (
+    MAX_BITS,
+    HuffmanCode,
+    build_code,
+    decode_symbols,
+    encode_symbols,
+)
+
+
+def roundtrip(symbols, alphabet):
+    symbols = np.asarray(symbols)
+    freqs = np.bincount(symbols, minlength=alphabet)
+    code = build_code(freqs)
+    payload, nbits = encode_symbols(symbols, code)
+    out = decode_symbols(payload, nbits, symbols.size, code)
+    return out, code
+
+
+class TestBuildCode:
+    def test_two_symbols_get_one_bit(self):
+        code = build_code(np.array([5, 3]))
+        assert sorted(code.lengths.tolist()) == [1, 1]
+
+    def test_single_symbol_gets_length_one(self):
+        code = build_code(np.array([0, 9, 0]))
+        assert code.lengths[1] == 1
+        assert code.lengths[0] == 0 and code.lengths[2] == 0
+
+    def test_empty_frequencies(self):
+        code = build_code(np.zeros(4, dtype=int))
+        assert code.lengths.max(initial=0) == 0
+
+    def test_skewed_frequencies_give_short_code_to_common(self):
+        freqs = np.array([1000, 10, 10, 10, 1])
+        code = build_code(freqs)
+        assert code.lengths[0] == code.lengths.min() or code.lengths[0] == 1
+        assert code.lengths[4] == code.lengths[code.lengths > 0].max()
+
+    def test_kraft_inequality_holds(self):
+        rng = np.random.default_rng(3)
+        freqs = rng.integers(0, 100, 64)
+        code = build_code(freqs)
+        used = code.lengths[code.lengths > 0].astype(int)
+        assert sum(2.0 ** -l for l in used) <= 1.0 + 1e-12
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like frequencies force deep trees without limiting.
+        n = 40
+        freqs = np.ones(n, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(n):
+            freqs[i] = a
+            a, b = b, a + b
+        code = build_code(freqs)
+        assert code.max_length <= MAX_BITS
+
+    def test_rejects_2d_frequencies(self):
+        with pytest.raises(ValueError):
+            build_code(np.ones((2, 2)))
+
+    def test_canonical_codes_are_prefix_free(self):
+        freqs = np.array([50, 30, 10, 5, 3, 2])
+        code = build_code(freqs)
+        words = [
+            format(int(code.codes[s]), f"0{int(code.lengths[s])}b")
+            for s in range(6)
+            if code.lengths[s]
+        ]
+        for i, w1 in enumerate(words):
+            for j, w2 in enumerate(words):
+                if i != j:
+                    assert not w2.startswith(w1)
+
+
+class TestSerialization:
+    def test_roundtrip_table(self):
+        code = build_code(np.array([10, 0, 5, 1]))
+        blob = code.to_bytes()
+        restored, offset = HuffmanCode.from_bytes(blob)
+        assert offset == len(blob)
+        assert np.array_equal(restored.lengths, code.lengths)
+        assert np.array_equal(restored.codes, code.codes)
+
+    def test_from_bytes_with_offset(self):
+        code = build_code(np.array([4, 4]))
+        blob = b"xyz" + code.to_bytes() + b"rest"
+        restored, offset = HuffmanCode.from_bytes(blob, 3)
+        assert np.array_equal(restored.lengths, code.lengths)
+        assert blob[offset:] == b"rest"
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(CodecError):
+            HuffmanCode.from_bytes(b"\x01\x02")
+
+    def test_truncated_body_raises(self):
+        code = build_code(np.array([4, 4]))
+        blob = code.to_bytes()
+        with pytest.raises(CodecError):
+            HuffmanCode.from_bytes(blob[:-2])
+
+
+class TestEncodeDecode:
+    def test_roundtrip_uniform(self):
+        rng = np.random.default_rng(7)
+        syms = rng.integers(0, 16, 500)
+        out, _ = roundtrip(syms, 16)
+        assert np.array_equal(out, syms)
+
+    def test_roundtrip_skewed(self):
+        rng = np.random.default_rng(8)
+        syms = rng.choice([0, 1, 2, 255], size=1000, p=[0.7, 0.2, 0.09, 0.01])
+        out, code = roundtrip(syms, 256)
+        assert np.array_equal(out, syms)
+        assert code.lengths[0] < code.lengths[255]
+
+    def test_roundtrip_single_symbol_stream(self):
+        syms = np.full(100, 3)
+        out, _ = roundtrip(syms, 8)
+        assert np.array_equal(out, syms)
+
+    def test_decode_zero_count(self):
+        code = build_code(np.array([1, 1]))
+        assert decode_symbols(b"", 0, 0, code).size == 0
+
+    def test_encode_rejects_uncoded_symbol(self):
+        code = build_code(np.array([5, 5, 0]))
+        with pytest.raises(ValueError):
+            encode_symbols(np.array([2]), code)
+
+    def test_encode_rejects_out_of_range(self):
+        code = build_code(np.array([5, 5]))
+        with pytest.raises(ValueError):
+            encode_symbols(np.array([9]), code)
+
+    def test_decode_exhausted_stream_raises(self):
+        code = build_code(np.array([5, 5]))
+        payload, nbits = encode_symbols(np.array([0, 1]), code)
+        with pytest.raises(CodecError):
+            decode_symbols(payload, nbits, 100, code)
+
+    def test_compression_beats_raw_on_skewed_data(self):
+        rng = np.random.default_rng(9)
+        syms = rng.choice(4, size=4000, p=[0.85, 0.1, 0.04, 0.01])
+        freqs = np.bincount(syms, minlength=4)
+        code = build_code(freqs)
+        payload, _ = encode_symbols(syms, code)
+        assert len(payload) < 4000 / 4  # far below 8 bits/symbol

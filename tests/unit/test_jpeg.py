@@ -1,0 +1,125 @@
+"""Unit tests for the baseline-JPEG-style codec."""
+
+import numpy as np
+import pytest
+
+from repro.compress.base import CodecError
+from repro.compress.jpeg import JPEGCodec
+from repro.compress.metrics import psnr
+
+
+@pytest.fixture
+def codec():
+    return JPEGCodec(quality=75)
+
+
+class TestRoundtripQuality:
+    def test_smooth_image_high_psnr(self, codec, gradient_image):
+        out = codec.decode_image(codec.encode_image(gradient_image))
+        assert out.shape == gradient_image.shape
+        assert out.dtype == np.uint8
+        assert psnr(gradient_image, out) > 30.0
+
+    def test_flat_image_near_perfect(self, codec):
+        img = np.full((32, 32, 3), 90, dtype=np.uint8)
+        out = codec.decode_image(codec.encode_image(img))
+        assert psnr(img, out) > 40.0
+
+    def test_rendered_frame(self, codec, rendered_rgb):
+        out = codec.decode_image(codec.encode_image(rendered_rgb))
+        assert psnr(rendered_rgb, out) > 28.0
+
+    def test_grayscale_image(self, codec):
+        yy, xx = np.mgrid[0:40, 0:48]
+        img = ((yy + xx) * 2 % 256).astype(np.uint8)
+        out = codec.decode_image(codec.encode_image(img))
+        assert out.shape == img.shape
+        assert psnr(img, out) > 25.0
+
+    def test_single_channel_3d(self, codec):
+        img = np.full((24, 24, 1), 200, dtype=np.uint8)
+        out = codec.decode_image(codec.encode_image(img))
+        assert out.shape == (24, 24)
+
+    def test_non_multiple_of_8_dims(self, codec, gradient_image):
+        img = gradient_image[:41, :51]
+        out = codec.decode_image(codec.encode_image(img))
+        assert out.shape == img.shape
+        assert psnr(img, out) > 28.0
+
+    def test_tiny_image(self, codec):
+        img = np.full((3, 5, 3), 128, dtype=np.uint8)
+        out = codec.decode_image(codec.encode_image(img))
+        assert out.shape == img.shape
+
+    def test_no_subsampling_mode(self, gradient_image):
+        c = JPEGCodec(quality=75, subsample=False)
+        out = c.decode_image(c.encode_image(gradient_image))
+        assert psnr(gradient_image, out) > 30.0
+
+    def test_subsampling_encodes_smaller(self, gradient_image):
+        with_sub = len(JPEGCodec(subsample=True).encode_image(gradient_image))
+        without = len(JPEGCodec(subsample=False).encode_image(gradient_image))
+        assert with_sub < without
+
+
+class TestQualityKnob:
+    def test_quality_tradeoff(self, gradient_image):
+        sizes = {}
+        errors = {}
+        for q in (20, 50, 90):
+            c = JPEGCodec(quality=q)
+            payload = c.encode_image(gradient_image)
+            sizes[q] = len(payload)
+            errors[q] = psnr(gradient_image, c.decode_image(payload))
+        assert sizes[20] < sizes[50] < sizes[90]
+        assert errors[20] < errors[50] < errors[90]
+
+    def test_compression_is_substantial(self, codec, rendered_rgb):
+        payload = codec.encode_image(rendered_rgb)
+        assert len(payload) < rendered_rgb.nbytes / 8
+
+    def test_marked_lossy(self, codec):
+        assert not codec.lossless
+        assert codec.name == "jpeg"
+
+
+class TestErrors:
+    def test_byte_interface_unsupported(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode(b"abc")
+        with pytest.raises(CodecError):
+            codec.decode(b"abc")
+
+    def test_rejects_float_image(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_image(np.zeros((8, 8, 3), dtype=np.float32))
+
+    def test_rejects_bad_shape(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_image(np.zeros((8, 8, 2), dtype=np.uint8))
+
+    def test_rejects_bad_magic(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode_image(b"WRONGHEADER" + bytes(50))
+
+    def test_rejects_truncated_payload(self, codec, gradient_image):
+        payload = codec.encode_image(gradient_image)
+        with pytest.raises(CodecError):
+            codec.decode_image(payload[: len(payload) // 2])
+
+    def test_rejects_bad_quality(self):
+        with pytest.raises(ValueError):
+            JPEGCodec(quality=0)
+
+
+class TestDeterminism:
+    def test_encode_is_deterministic(self, codec, gradient_image):
+        assert codec.encode_image(gradient_image) == codec.encode_image(
+            gradient_image
+        )
+
+    def test_decoder_independent_instance(self, gradient_image):
+        payload = JPEGCodec(quality=60).encode_image(gradient_image)
+        out = JPEGCodec(quality=10).decode_image(payload)  # quality from header
+        assert psnr(gradient_image, out) > 28.0

@@ -1,0 +1,121 @@
+"""Unit tests for the LZO-style LZSS codec."""
+
+import numpy as np
+import pytest
+
+from repro.compress.base import CodecError
+from repro.compress.lzo import LZOCodec
+
+
+@pytest.fixture
+def codec():
+    return LZOCodec()
+
+
+class TestRoundtrip:
+    def test_empty(self, codec):
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_tiny_inputs(self, codec):
+        for n in range(1, 10):
+            data = bytes(range(n))
+            assert codec.decode(codec.encode(data)) == data
+
+    def test_repetitive_text(self, codec):
+        data = b"the quick brown fox jumps over the lazy dog " * 100
+        enc = codec.encode(data)
+        assert len(enc) < len(data) // 10
+        assert codec.decode(enc) == data
+
+    def test_all_zeros(self, codec):
+        data = bytes(100000)
+        enc = codec.encode(data)
+        assert len(enc) < 2000
+        assert codec.decode(enc) == data
+
+    def test_random_data_survives(self, codec):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, 20000, dtype=np.uint8).tobytes()
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+        # flag-byte overhead only: at most ~12.5% expansion plus header
+        assert len(enc) <= len(data) * 1.13 + 16
+
+    def test_overlapping_match_distance_one(self, codec):
+        # "aaaa..." forces dist-1 overlapping copies
+        data = b"x" + b"a" * 1000 + b"y"
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_overlapping_match_short_period(self, codec):
+        data = b"ab" * 5000
+        enc = codec.encode(data)
+        assert len(enc) < 500
+        assert codec.decode(enc) == data
+
+    def test_match_at_max_distance(self, codec):
+        marker = b"HELLO-WORLD-MARKER"
+        gap = np.random.default_rng(2).integers(0, 256, 60000, dtype=np.uint8)
+        data = marker + gap.tobytes() + marker
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_binary_patterns(self, codec):
+        data = bytes([i % 7 for i in range(10000)])
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestLevels:
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            LZOCodec(level=0)
+        with pytest.raises(ValueError):
+            LZOCodec(level=10)
+
+    def test_higher_level_compresses_at_least_as_well(self):
+        data = (
+            b"abcdefgh" * 200
+            + bytes(np.random.default_rng(3).integers(0, 8, 3000, dtype=np.uint8))
+        ) * 3
+        fast = len(LZOCodec(level=1).encode(data))
+        best = len(LZOCodec(level=9).encode(data))
+        assert best <= fast
+
+    @pytest.mark.parametrize("level", [1, 3, 5, 9])
+    def test_all_levels_roundtrip(self, level):
+        codec = LZOCodec(level=level)
+        rng = np.random.default_rng(level)
+        chunks = [rng.integers(0, 4, 500, dtype=np.uint8).tobytes()] * 5
+        data = b"".join(chunks) + bytes(rng.integers(0, 256, 2000, dtype=np.uint8))
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestErrors:
+    def test_bad_magic(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(b"XXXX\x00\x00\x00\x00")
+
+    def test_truncated_stream(self, codec):
+        enc = codec.encode(b"hello world, hello world, hello world")
+        with pytest.raises(CodecError):
+            codec.decode(enc[: len(enc) // 2])
+
+    def test_corrupt_match_distance(self, codec):
+        # hand-build a stream with a match pointing before the start
+        import struct
+
+        payload = b"RLZO" + struct.pack("<I", 10)
+        payload += bytes([0b10000000]) + struct.pack("<HB", 5, 0)
+        with pytest.raises(CodecError):
+            codec.decode(payload)
+
+    def test_name_and_losslessness(self, codec):
+        assert codec.name == "lzo"
+        assert codec.lossless
+
+
+class TestOnRenderedFrames:
+    def test_jet_frame_compresses_well(self, codec, rendered_rgb):
+        raw = rendered_rgb.tobytes()
+        enc = codec.encode(raw)
+        # jet frames are mostly black background: strong compression
+        assert len(enc) < len(raw) / 3
+        assert codec.decode(enc) == raw

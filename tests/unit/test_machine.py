@@ -1,0 +1,298 @@
+"""Unit tests for the SPMD runtime and communicator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CommError, run_spmd
+from repro.machine.spmd import SpmdError
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send({"x": 42}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert run_spmd(2, worker)[1] == {"x": 42}
+
+    def test_tag_matching(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send("b", dest=1, tag=2)
+                comm.send("a", dest=1, tag=1)
+                return None
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return first, second
+
+        assert run_spmd(2, worker)[1] == ("a", "b")
+
+    def test_non_overtaking_same_tag(self):
+        def worker(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(10)]
+
+        assert run_spmd(2, worker)[1] == list(range(10))
+
+    def test_any_source(self):
+        def worker(comm):
+            if comm.rank == 2:
+                got = sorted(comm.recv() for _ in range(2))
+                return got
+            comm.send(comm.rank, dest=2)
+
+        assert run_spmd(3, worker)[2] == [0, 1]
+
+    def test_recv_with_status(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send("hi", dest=1, tag=9)
+                return None
+            return comm.recv_with_status()
+
+        payload, src, tag = run_spmd(2, worker)[1]
+        assert (payload, src, tag) == ("hi", 0, 9)
+
+    def test_sendrecv_exchange(self):
+        def worker(comm):
+            partner = comm.rank ^ 1
+            return comm.sendrecv(comm.rank * 10, partner)
+
+        assert run_spmd(2, worker) == [10, 0]
+
+    def test_numpy_payload(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100), dest=1)
+                return None
+            return comm.recv(source=0).sum()
+
+        assert run_spmd(2, worker)[1] == 4950
+
+    def test_bad_dest_rejected(self):
+        def worker(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, worker)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def worker(comm):
+            data = [1, 2, 3] if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert run_spmd(4, worker) == [[1, 2, 3]] * 4
+
+    def test_bcast_nonzero_root(self):
+        def worker(comm):
+            return comm.bcast("v" if comm.rank == 2 else None, root=2)
+
+        assert run_spmd(3, worker) == ["v"] * 3
+
+    def test_scatter_gather(self):
+        def worker(comm):
+            part = comm.scatter(
+                [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            )
+            return comm.gather(part + 1, root=0)
+
+        results = run_spmd(4, worker)
+        assert results[0] == [1, 2, 5, 10]
+        assert results[1] is None
+
+    def test_scatter_wrong_length(self):
+        def worker(comm):
+            comm.scatter([1] if comm.rank == 0 else None)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, worker)
+
+    def test_allgather(self):
+        def worker(comm):
+            return comm.allgather(comm.rank)
+
+        assert run_spmd(3, worker) == [[0, 1, 2]] * 3
+
+    def test_alltoall(self):
+        def worker(comm):
+            return comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+
+        results = run_spmd(3, worker)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_reduce(self):
+        def worker(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a * b, root=0)
+
+        results = run_spmd(4, worker)
+        assert results[0] == 24
+        assert results[1] is None
+
+    def test_allreduce(self):
+        def worker(comm):
+            return comm.allreduce(comm.rank, op=lambda a, b: a + b)
+
+        assert run_spmd(5, worker) == [10] * 5
+
+    def test_barrier_synchronizes(self):
+        import threading
+
+        flag = threading.Event()
+
+        def worker(comm):
+            if comm.rank == 0:
+                flag.set()
+            comm.barrier()
+            return flag.is_set()
+
+        assert all(run_spmd(4, worker))
+
+    def test_collective_sequence(self):
+        """Multiple collectives in a row stay correctly paired."""
+
+        def worker(comm):
+            a = comm.allgather(comm.rank)
+            b = comm.allgather(comm.rank * 2)
+            c = comm.bcast(99 if comm.rank == 0 else None)
+            return a, b, c
+
+        for a, b, c in run_spmd(3, worker):
+            assert a == [0, 1, 2]
+            assert b == [0, 2, 4]
+            assert c == 99
+
+
+class TestSplit:
+    def test_split_into_groups(self):
+        def worker(comm):
+            color = comm.rank // 2
+            sub = comm.split(color)
+            return color, sub.rank, sub.size, sub.allgather(comm.rank)
+
+        results = run_spmd(4, worker)
+        assert results[0] == (0, 0, 2, [0, 1])
+        assert results[3] == (1, 1, 2, [2, 3])
+
+    def test_split_with_key_reorders(self):
+        def worker(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        assert run_spmd(3, worker) == [2, 1, 0]
+
+    def test_subgroup_point_to_point(self):
+        def worker(comm):
+            sub = comm.split(comm.rank % 2)
+            if sub.size == 2:
+                return sub.sendrecv(comm.rank, partner=sub.rank ^ 1)
+
+        results = run_spmd(4, worker)
+        assert results[0] == 2 and results[2] == 0
+        assert results[1] == 3 and results[3] == 1
+
+
+class TestErrors:
+    def test_worker_exception_propagates_with_rank(self):
+        def worker(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(3, worker)
+        assert info.value.rank == 1
+        assert isinstance(info.value.original, ValueError)
+
+    def test_deadlock_times_out(self):
+        def worker(comm):
+            comm.recv(source=comm.rank)  # nobody ever sends
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(2, worker, timeout=0.2)
+        assert isinstance(info.value.original, TimeoutError)
+
+    def test_nprocs_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+    def test_single_rank_works(self):
+        def worker(comm):
+            assert comm.size == 1
+            comm.barrier()
+            return comm.allgather("only")
+
+        assert run_spmd(1, worker) == [["only"]]
+
+    def test_comm_error_on_bad_rank(self):
+        from repro.machine.communicator import Communicator, _World
+
+        with pytest.raises(CommError):
+            Communicator(_World(2), 5)
+
+
+class TestNonblocking:
+    def test_irecv_wait(self):
+        def worker(comm):
+            if comm.rank == 0:
+                req = comm.isend({"k": 1}, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert run_spmd(2, worker)[1] == {"k": 1}
+
+    def test_irecv_test_polls(self):
+        import time
+
+        def worker(comm):
+            if comm.rank == 0:
+                time.sleep(0.1)
+                comm.send("late", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            done_first, _ = req.test()
+            while True:
+                done, value = req.test()
+                if done:
+                    return done_first, value
+                time.sleep(0.01)
+
+        done_first, value = run_spmd(2, worker)[1]
+        assert done_first is False  # nothing buffered immediately
+        assert value == "late"
+
+    def test_isend_completes_immediately(self):
+        def worker(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", dest=1)
+                done, _ = req.test()
+                comm.barrier()
+                return done
+            comm.barrier()
+            return comm.recv(source=0)
+
+        results = run_spmd(2, worker)
+        assert results[0] is True
+        assert results[1] == "x"
+
+    def test_overlap_compute_and_communication(self):
+        """The classic use: post the receive, compute, then wait."""
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(list(range(50)), dest=1)
+                return None
+            req = comm.irecv(source=0)
+            local = sum(i * i for i in range(100))  # "compute"
+            data = req.wait()
+            return local + sum(data)
+
+        assert run_spmd(2, worker)[1] == sum(i * i for i in range(100)) + 1225

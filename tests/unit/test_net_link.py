@@ -1,0 +1,74 @@
+"""Unit tests for the simulated WAN link resource."""
+
+import pytest
+
+from repro.net import SimLink, lan_route
+from repro.sim.cluster import NASA_TO_UCD
+from repro.sim.engine import Simulator
+
+
+class TestSimLink:
+    def test_single_transfer_time(self):
+        sim = Simulator()
+        link = SimLink(sim, lan_route(1e6, rtt_s=0.0))
+
+        def sender():
+            yield sim.process(link.transfer(500_000))
+
+        sim.process(sender())
+        horizon = sim.run()
+        assert horizon == pytest.approx(0.5)
+        assert len(link.completed) == 1
+        assert link.completed[0] == (pytest.approx(0.5), 500_000)
+
+    def test_transfers_serialize(self):
+        sim = Simulator()
+        link = SimLink(sim, lan_route(1e6, rtt_s=0.0))
+        done = []
+
+        def sender(nbytes):
+            yield sim.process(link.transfer(nbytes))
+            done.append(sim.now)
+
+        for _ in range(3):
+            sim.process(sender(1e6))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_multi_stream_link(self):
+        sim = Simulator()
+        link = SimLink(sim, lan_route(1e6, rtt_s=0.0), streams=2)
+        done = []
+
+        def sender():
+            yield sim.process(link.transfer(1e6))
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.process(sender())
+        sim.run()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+    def test_uses_route_burst_model(self):
+        sim = Simulator()
+        link = SimLink(sim, NASA_TO_UCD)
+
+        def sender():
+            yield sim.process(link.transfer(196_608))
+
+        sim.process(sender())
+        horizon = sim.run()
+        assert horizon == pytest.approx(NASA_TO_UCD.transfer_s(196_608))
+
+    def test_completion_log_order(self):
+        sim = Simulator()
+        link = SimLink(sim, lan_route(1e6, rtt_s=0.0))
+
+        def sender(nbytes, delay):
+            yield sim.timeout(delay)
+            yield sim.process(link.transfer(nbytes))
+
+        sim.process(sender(100, 0.5))
+        sim.process(sender(200, 0.0))
+        sim.run()
+        assert [n for _, n in link.completed] == [200, 100]

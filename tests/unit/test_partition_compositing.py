@@ -1,0 +1,218 @@
+"""Unit tests for brick decomposition, the over operator, and compositing."""
+
+import numpy as np
+import pytest
+
+from repro.machine import run_spmd
+from repro.render import (
+    Camera,
+    TransferFunction,
+    binary_swap,
+    composite_bricks,
+    decompose,
+    over,
+    render_volume,
+    visibility_order,
+)
+
+
+class TestDecompose:
+    def test_single_brick_is_whole_volume(self):
+        dec = decompose((10, 12, 14), 1)
+        assert len(dec) == 1
+        assert dec[0].shape == (10, 12, 14)
+        assert dec[0].box == ((0, 0, 0), (1, 1, 1))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16])
+    def test_brick_count(self, n):
+        dec = decompose((32, 32, 32), n)
+        assert len(dec) == n
+
+    def test_bricks_cover_volume(self):
+        shape = (20, 24, 16)
+        vol = np.zeros(shape, dtype=np.int32)
+        for brick in decompose(shape, 8):
+            vol[brick.slices] += 1
+        assert (vol >= 1).all()  # full coverage (shared planes overlap)
+
+    def test_interior_overlap_is_only_shared_planes(self):
+        shape = (16, 16, 16)
+        dec = decompose(shape, 4)
+        total = sum(b.n_voxels for b in dec)
+        overlap = total - 16**3
+        assert 0 < overlap <= 3 * 16 * 16  # at most one plane per cut
+
+    def test_balanced_sizes(self):
+        dec = decompose((64, 64, 64), 8)
+        sizes = [b.n_voxels for b in dec]
+        assert max(sizes) / min(sizes) < 1.5
+
+    def test_splits_longest_axis_first(self):
+        dec = decompose((100, 10, 10), 2)
+        (a0, a1), _, _ = dec[0].index_ranges
+        assert a1 < 100  # split along axis 0
+        assert dec[0].index_ranges[1] == (0, 10)
+
+    def test_box_bounds_in_unit_cube(self):
+        for brick in decompose((17, 23, 9), 6):
+            lo, hi = brick.box
+            assert all(0.0 <= a < b <= 1.0 for a, b in zip(lo, hi))
+
+    def test_extract_matches_slices(self):
+        vol = np.arange(8 * 8 * 8, dtype=np.float32).reshape(8, 8, 8)
+        brick = decompose((8, 8, 8), 4)[2]
+        assert np.array_equal(brick.extract(vol), vol[brick.slices])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decompose((8, 8, 8), 0)
+        with pytest.raises(ValueError):
+            decompose((1, 8, 8), 2)
+        with pytest.raises(ValueError):
+            decompose((2, 2, 2), 100)
+
+
+class TestOver:
+    def test_opaque_front_wins(self):
+        front = np.array([[[0.8, 0.1, 0.2, 1.0]]], dtype=np.float32)
+        back = np.array([[[0.0, 0.9, 0.0, 1.0]]], dtype=np.float32)
+        out = over(front, back)
+        assert np.allclose(out, front)
+
+    def test_transparent_front_passes_back(self):
+        front = np.zeros((1, 1, 4), dtype=np.float32)
+        back = np.array([[[0.3, 0.2, 0.1, 0.7]]], dtype=np.float32)
+        assert np.allclose(over(front, back), back)
+
+    def test_alpha_accumulates(self):
+        a = np.array([[[0.25, 0.25, 0.25, 0.5]]], dtype=np.float32)
+        out = over(a, a)
+        assert out[0, 0, 3] == pytest.approx(0.75)
+
+    def test_associative(self):
+        rng = np.random.default_rng(0)
+        imgs = []
+        for _ in range(3):
+            alpha = rng.random((4, 4, 1)).astype(np.float32)
+            rgb = rng.random((4, 4, 3)).astype(np.float32) * alpha
+            imgs.append(np.concatenate([rgb, alpha], axis=2))
+        left = over(over(imgs[0], imgs[1]), imgs[2])
+        right = over(imgs[0], over(imgs[1], imgs[2]))
+        assert np.allclose(left, right, atol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            over(np.zeros((2, 2, 4)), np.zeros((3, 3, 4)))
+
+
+class TestVisibilityOrder:
+    def test_front_to_back_along_view(self):
+        dec = decompose((16, 16, 16), 4)
+        cam = Camera(azimuth=0, elevation=0)
+        order = visibility_order(list(dec), cam)
+        d = cam.view_direction
+        keys = [float(np.dot(dec[i].center, d)) for i in order]
+        assert keys == sorted(keys)
+
+    def test_permutation(self):
+        dec = decompose((16, 16, 16), 8)
+        order = visibility_order(list(dec), Camera(azimuth=123, elevation=-40))
+        assert sorted(order) == list(range(8))
+
+    def test_reverses_with_opposite_view(self):
+        dec = decompose((32, 8, 8), 2)  # split along x
+        fwd = visibility_order(list(dec), Camera(azimuth=0, elevation=0))
+        back = visibility_order(list(dec), Camera(azimuth=180, elevation=0))
+        assert fwd == list(reversed(back))
+
+
+class TestCompositeBricks:
+    @pytest.mark.parametrize("n_bricks", [2, 3, 4, 6])
+    def test_matches_monolithic_render(self, jet_volume, small_camera, n_bricks):
+        tf = TransferFunction.jet()
+        full = render_volume(jet_volume, tf, small_camera)
+        dec = decompose(jet_volume.shape, n_bricks)
+        partials = [
+            render_volume(b.extract(jet_volume), tf, small_camera, box=b.box)
+            for b in dec
+        ]
+        combined = composite_bricks(partials, list(dec), small_camera)
+        # sampling phases differ per brick: allow small pointwise error
+        assert np.abs(combined - full).mean() < 0.01
+        assert np.abs(combined - full).max() < 0.2
+
+    def test_requires_matching_lengths(self, small_camera):
+        dec = decompose((8, 8, 8), 2)
+        with pytest.raises(ValueError):
+            composite_bricks([np.zeros((4, 4, 4))], list(dec), small_camera)
+
+
+class TestBinarySwap:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 5, 6, 7, 8])
+    def test_equals_sequential_composite(self, jet_volume, small_camera, nprocs):
+        tf = TransferFunction.jet()
+        dec = decompose(jet_volume.shape, nprocs)
+        bricks = list(dec)
+        partials = [
+            render_volume(b.extract(jet_volume), tf, small_camera, box=b.box)
+            for b in bricks
+        ]
+        reference = composite_bricks(partials, bricks, small_camera)
+        order = visibility_order(bricks, small_camera)
+
+        def worker(comm):
+            piece, rows = binary_swap(comm, partials[order[comm.rank]])
+            gathered = comm.gather((rows, piece))
+            if comm.rank == 0:
+                out = np.zeros_like(partials[0])
+                for (r0, r1), p in gathered:
+                    out[r0:r1] = p
+                return out
+
+        result = run_spmd(nprocs, worker)[0]
+        assert np.allclose(result, reference, atol=1e-5)
+
+    def test_pieces_partition_rows(self):
+        h = 16
+        imgs = [np.random.default_rng(r).random((h, 8, 4)).astype(np.float32) for r in range(4)]
+
+        def worker(comm):
+            _, rows = binary_swap(comm, imgs[comm.rank])
+            return rows
+
+        ranges = run_spmd(4, worker)
+        covered = sorted(ranges)
+        assert covered[0][0] == 0 and covered[-1][1] == h
+        for (a0, a1), (b0, b1) in zip(covered, covered[1:]):
+            assert a1 == b0  # contiguous, disjoint
+
+    @pytest.mark.parametrize("nprocs", [3, 5, 6])
+    def test_non_power_of_two_strips_cover_image(self, nprocs):
+        h = 16
+        rng = np.random.default_rng(7)
+        imgs = []
+        for _ in range(nprocs):
+            alpha = rng.random((h, 8, 1)).astype(np.float32)
+            rgb = rng.random((h, 8, 3)).astype(np.float32) * alpha
+            imgs.append(np.concatenate([rgb, alpha], axis=2))
+
+        def worker(comm):
+            _, rows = binary_swap(comm, imgs[comm.rank])
+            return rows
+
+        ranges = [r for r in run_spmd(nprocs, worker) if r != (0, 0)]
+        covered = sorted(ranges)
+        assert covered[0][0] == 0 and covered[-1][1] == h
+        for (a0, a1), (b0, b1) in zip(covered, covered[1:]):
+            assert a1 == b0
+
+    def test_single_rank_identity(self):
+        img = np.random.default_rng(0).random((8, 8, 4)).astype(np.float32)
+
+        def worker(comm):
+            piece, rows = binary_swap(comm, img)
+            return piece, rows
+
+        piece, rows = run_spmd(1, worker)[0]
+        assert rows == (0, 8)
+        assert np.array_equal(piece, img)

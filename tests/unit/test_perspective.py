@@ -1,0 +1,124 @@
+"""Unit tests for perspective projection."""
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    Camera,
+    TransferFunction,
+    composite_bricks,
+    decompose,
+    render_volume,
+    visibility_order,
+)
+
+
+@pytest.fixture(scope="module")
+def blob():
+    n = 24
+    x, y, z = np.mgrid[0:n, 0:n, 0:n].astype(np.float32) / (n - 1)
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2
+    return np.exp(-r2 / 0.02).astype(np.float32)
+
+
+def persp(**kw):
+    defaults = dict(image_size=(32, 32), projection="perspective")
+    defaults.update(kw)
+    return Camera(**defaults)
+
+
+class TestPerspectiveCamera:
+    def test_rays_per_pixel_directions(self):
+        cam = persp(image_size=(8, 12))
+        origins, directions = cam.rays()
+        assert origins.shape == (96, 3)
+        assert directions.shape == (96, 3)
+        assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+
+    def test_all_rays_from_eye(self):
+        cam = persp()
+        origins, _ = cam.rays()
+        assert np.allclose(origins, origins[0])
+        assert np.allclose(origins[0], cam.eye_position)
+
+    def test_rays_diverge(self):
+        cam = persp(image_size=(16, 16))
+        _, directions = cam.rays()
+        spread = directions.max(axis=0) - directions.min(axis=0)
+        assert spread.max() > 0.1
+
+    def test_center_ray_is_forward(self):
+        cam = persp(image_size=(15, 15))
+        _, directions = cam.rays()
+        center = directions[15 * 7 + 7]
+        assert np.allclose(center, cam.view_direction, atol=1e-6)
+
+    def test_orthographic_has_no_eye(self):
+        assert Camera().eye_position is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(projection="isometric")
+        with pytest.raises(ValueError):
+            persp(distance=0)
+        with pytest.raises(ValueError):
+            persp(fov=0)
+        with pytest.raises(ValueError):
+            persp(fov=200)
+
+
+class TestPerspectiveRendering:
+    def test_blob_visible_and_centered(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        img = render_volume(blob, tf, persp(image_size=(33, 33)))
+        alpha = img[..., 3]
+        assert alpha.max() > 0.2
+        cy, cx = np.unravel_index(np.argmax(alpha), alpha.shape)
+        assert abs(cy - 16) <= 2 and abs(cx - 16) <= 2
+
+    def test_closer_eye_magnifies(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        far = render_volume(blob, tf, persp(distance=4.0))
+        near = render_volume(blob, tf, persp(distance=1.5))
+        assert (near[..., 3] > 0.05).sum() > (far[..., 3] > 0.05).sum()
+
+    def test_roughly_matches_orthographic_at_long_distance(self, blob):
+        """Perspective converges to orthographic as the eye recedes."""
+        tf = TransferFunction.grayscale(opacity=0.5)
+        ortho = render_volume(blob, tf, Camera(image_size=(24, 24)))
+        # match footprints: ortho frames sqrt(3)/zoom; at distance D the
+        # perspective frame is 2 D tan(fov/2); solve fov for equality
+        distance = 50.0
+        fov = float(np.degrees(2 * np.arctan(np.sqrt(3.0) / 2 / distance)))
+        tele = render_volume(
+            blob,
+            tf,
+            Camera(
+                image_size=(24, 24),
+                projection="perspective",
+                distance=distance,
+                fov=fov,
+            ),
+        )
+        corr = np.corrcoef(ortho[..., 3].ravel(), tele[..., 3].ravel())[0, 1]
+        assert corr > 0.98
+
+    def test_brick_compositing_matches_full_render(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.4)
+        cam = persp(image_size=(24, 24), azimuth=40, elevation=25)
+        full = render_volume(blob, tf, cam)
+        dec = decompose(blob.shape, 4)
+        partials = [
+            render_volume(b.extract(blob), tf, cam, box=b.box) for b in dec
+        ]
+        combined = composite_bricks(partials, list(dec), cam)
+        assert np.abs(combined - full).mean() < 0.01
+
+    def test_visibility_order_uses_eye(self):
+        dec = decompose((16, 16, 16), 2)  # split along x
+        cam = persp(azimuth=0, elevation=0)  # eye on -x side... check
+        order = visibility_order(list(dec), cam)
+        eye = cam.eye_position
+        d0 = np.linalg.norm(dec[order[0]].center - eye)
+        d1 = np.linalg.norm(dec[order[1]].center - eye)
+        assert d0 <= d1

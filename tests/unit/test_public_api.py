@@ -1,0 +1,71 @@
+"""Public-API integrity: every exported name imports and is real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.compress",
+    "repro.core",
+    "repro.daemon",
+    "repro.data",
+    "repro.machine",
+    "repro.net",
+    "repro.render",
+    "repro.sim",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), package
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 40, package
+
+
+def test_star_import_top_level():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate
+    for expected in (
+        "RemoteVisualizationSession",
+        "PartitionPlan",
+        "simulate_pipeline",
+        "turbulent_jet",
+        "get_codec",
+        "Camera",
+    ):
+        assert expected in namespace
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_no_accidental_heavy_imports():
+    """Importing repro must not drag in optional heavyweights."""
+    import subprocess
+    import sys
+
+    code = (
+        "import sys, repro; "
+        "bad = [m for m in ('matplotlib', 'scipy.optimize', 'pandas') "
+        "if m in sys.modules]; "
+        "print(','.join(bad))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert out.returncode == 0
+    assert out.stdout.strip() == ""

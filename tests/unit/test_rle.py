@@ -1,0 +1,109 @@
+"""Unit tests for the PackBits-style RLE codec."""
+
+import numpy as np
+import pytest
+
+from repro.compress.base import CodecError
+from repro.compress.rle import RLECodec, find_runs
+
+
+class TestFindRuns:
+    def test_empty(self):
+        starts, lengths = find_runs(np.array([], dtype=np.uint8))
+        assert starts.size == 0 and lengths.size == 0
+
+    def test_single_run(self):
+        starts, lengths = find_runs(np.array([7, 7, 7], dtype=np.uint8))
+        assert starts.tolist() == [0]
+        assert lengths.tolist() == [3]
+
+    def test_alternating(self):
+        starts, lengths = find_runs(np.array([1, 2, 1, 2], dtype=np.uint8))
+        assert starts.tolist() == [0, 1, 2, 3]
+        assert lengths.tolist() == [1, 1, 1, 1]
+
+    def test_lengths_cover_input(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 3, 500, dtype=np.uint8)
+        starts, lengths = find_runs(data)
+        assert lengths.sum() == data.size
+        assert starts[0] == 0
+        assert np.all(np.diff(starts) == lengths[:-1])
+
+
+class TestRLECodec:
+    @pytest.fixture
+    def codec(self):
+        return RLECodec()
+
+    def test_empty(self, codec):
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_single_byte(self, codec):
+        assert codec.decode(codec.encode(b"Q")) == b"Q"
+
+    def test_long_run_compresses(self, codec):
+        data = b"\x00" * 5000
+        enc = codec.encode(data)
+        assert len(enc) < 100
+        assert codec.decode(enc) == data
+
+    def test_literals_roundtrip(self, codec):
+        data = bytes(range(256)) * 3
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_mixed_runs_and_literals(self, codec):
+        data = b"abc" + b"x" * 40 + b"def" + b"y" * 200 + b"ghi"
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_run_exactly_min_run(self, codec):
+        data = b"ab" + b"c" * codec.min_run + b"de"
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_run_below_min_run_stays_literal(self):
+        codec = RLECodec(min_run=4)
+        data = b"aaabbb"  # runs of 3, below threshold
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+
+    def test_max_length_run_boundaries(self, codec):
+        for n in (127, 128, 129, 255, 256, 257):
+            data = b"z" * n
+            assert codec.decode(codec.encode(data)) == data, n
+
+    def test_max_length_literal_boundaries(self, codec):
+        base = bytes(range(250)) + bytes(range(250))
+        for n in (127, 128, 129, 255, 300):
+            data = base[:n]
+            assert codec.decode(codec.encode(data)) == data, n
+
+    def test_incompressible_expansion_bounded(self, codec):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, 10000, dtype=np.uint8).tobytes()
+        enc = codec.encode(data)
+        assert len(enc) <= len(data) * 1.02 + 16
+        assert codec.decode(enc) == data
+
+    def test_reserved_control_byte_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(bytes([128, 0]))
+
+    def test_truncated_literal_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(bytes([5, 1, 2]))  # promises 6 literals, has 2
+
+    def test_truncated_repeat_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(bytes([200]))
+
+    def test_min_run_validation(self):
+        with pytest.raises(ValueError):
+            RLECodec(min_run=1)
+
+    def test_is_lossless_flag(self, codec):
+        assert codec.lossless
+
+    def test_image_interface(self, codec, rendered_rgb):
+        enc = codec.encode_image(rendered_rgb)
+        out = codec.decode_image(enc)
+        assert np.array_equal(out, rendered_rgb)

@@ -1,0 +1,82 @@
+"""Unit tests for gradient (Lambertian) shading in the ray caster."""
+
+import numpy as np
+import pytest
+
+from repro.render import Camera, RayCaster, TransferFunction, render_volume
+
+
+@pytest.fixture(scope="module")
+def blob():
+    n = 20
+    x, y, z = np.mgrid[0:n, 0:n, 0:n].astype(np.float32) / (n - 1)
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2
+    return np.exp(-r2 / 0.04).astype(np.float32)
+
+
+class TestShading:
+    def test_shading_changes_image(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        cam = Camera(image_size=(24, 24))
+        flat = render_volume(blob, tf, cam, shading=False)
+        lit = render_volume(blob, tf, cam, shading=True)
+        assert not np.allclose(flat, lit)
+
+    def test_shading_only_darkens_color(self, blob):
+        """ambient + (1-ambient)*diffuse <= 1: shading cannot brighten,
+        and alpha is untouched."""
+        tf = TransferFunction.grayscale(opacity=0.5)
+        cam = Camera(image_size=(24, 24))
+        flat = render_volume(blob, tf, cam, shading=False)
+        lit = render_volume(blob, tf, cam, shading=True)
+        assert (lit[..., :3] <= flat[..., :3] + 1e-5).all()
+        assert np.allclose(lit[..., 3], flat[..., 3], atol=1e-6)
+
+    def test_ambient_one_equals_unshaded(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        cam = Camera(image_size=(16, 16))
+        flat = render_volume(blob, tf, cam, shading=False)
+        lit = render_volume(blob, tf, cam, shading=True, ambient=1.0)
+        assert np.allclose(lit, flat, atol=1e-5)
+
+    def test_light_direction_matters(self, blob):
+        tf = TransferFunction.grayscale(opacity=0.5)
+        cam = Camera(image_size=(24, 24))
+        a = render_volume(
+            blob, tf, cam, shading=True, light_direction=(1, 0, 0)
+        )
+        b = render_volume(
+            blob, tf, cam, shading=True, light_direction=(0, 0, 1)
+        )
+        assert not np.allclose(a, b)
+
+    def test_shading_asymmetric_for_offcenter_light(self, blob):
+        """A light from +x darkens the side whose gradients are
+        perpendicular to it: the image loses its left-right symmetry."""
+        tf = TransferFunction.grayscale(opacity=0.5)
+        cam = Camera(image_size=(25, 25), azimuth=0, elevation=0)
+        flat = render_volume(blob, tf, cam, shading=False)[..., 0]
+        # the blob is symmetric: unshaded halves match closely
+        assert np.abs(flat - flat[:, ::-1]).max() < 0.02
+
+    def test_bad_light_rejected(self, blob):
+        tf = TransferFunction.jet()
+        cam = Camera(image_size=(8, 8))
+        with pytest.raises(ValueError):
+            render_volume(blob, tf, cam, shading=True, light_direction=(0, 0, 0))
+        with pytest.raises(ValueError):
+            render_volume(blob, tf, cam, shading=True, ambient=1.5)
+
+    def test_raycaster_shading_flag(self, blob):
+        cam = Camera(image_size=(16, 16))
+        tf = TransferFunction.grayscale(opacity=0.5)
+        rc = RayCaster(tf=tf, camera=cam, shading=True)
+        ref = render_volume(blob, tf, cam, shading=True)
+        assert np.array_equal(rc.render(blob), ref)
+
+    def test_empty_volume_still_transparent(self):
+        vol = np.zeros((8, 8, 8), dtype=np.float32)
+        img = render_volume(
+            vol, TransferFunction.jet(), Camera(image_size=(8, 8)), shading=True
+        )
+        assert img.max() == 0.0

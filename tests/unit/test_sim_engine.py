@@ -1,0 +1,368 @@
+"""Unit tests for the discrete-event simulation engine and resources."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.resources import Pipe, Resource, hold
+
+
+class TestEngine:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [2.5, 3.5]
+
+    def test_deterministic_tie_break_by_creation_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield sim.timeout(1.0)
+            log.append(name)
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1)
+            return "done"
+
+        def parent(results):
+            value = yield sim.process(child())
+            results.append(value)
+
+        results = []
+        sim.process(parent(results))
+        sim.run()
+        assert results == ["done"]
+
+    def test_event_value_passed_to_yielder(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        def firer():
+            yield sim.timeout(3)
+            ev.succeed("payload")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_yield_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_all_of(self):
+        sim = Simulator()
+        done_at = []
+
+        def worker(d):
+            yield sim.timeout(d)
+
+        def waiter():
+            procs = [sim.process(worker(d)) for d in (1, 5, 3)]
+            yield sim.all_of(procs)
+            done_at.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert done_at == [5]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        fired = []
+
+        def waiter():
+            yield sim.all_of([])
+            fired.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert fired == [0.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1)
+                log.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=4.5)
+        assert log == [1, 2, 3, 4]
+        assert sim.now == 4.5
+
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(7)
+
+        sim.process(proc())
+        assert sim.run() == 7.0
+
+
+class TestResource:
+    def test_serializes_access(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def user(name):
+            yield res.request()
+            start = sim.now
+            yield sim.timeout(2)
+            res.release()
+            spans.append((name, start, sim.now))
+
+        for n in ("a", "b", "c"):
+            sim.process(user(n))
+        sim.run()
+        assert spans == [("a", 0, 2), ("b", 2, 4), ("c", 4, 6)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def user():
+            yield res.request()
+            yield sim.timeout(2)
+            res.release()
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert done == [2, 2, 4, 4]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        res = Resource(sim)
+        order = []
+
+        def user(name, arrive):
+            yield sim.timeout(arrive)
+            yield res.request()
+            order.append(name)
+            yield sim.timeout(5)
+            res.release()
+
+        sim.process(user("late", 0.2))
+        sim.process(user("early", 0.1))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def user():
+            yield sim.process(hold(sim, res, 3.0))
+            yield sim.timeout(1.0)
+
+        sim.process(user())
+        horizon = sim.run()
+        assert horizon == 4.0
+        assert res.utilization(horizon) == pytest.approx(0.75)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestPipe:
+    def test_fifo_transfer(self):
+        sim = Simulator()
+        pipe = Pipe(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield sim.timeout(1)
+                yield pipe.put(i)
+
+        def consumer():
+            for _ in range(3):
+                ev = pipe.get()
+                yield ev
+                got.append((sim.now, ev.value))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [(1, 0), (2, 1), (3, 2)]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        pipe = Pipe(sim)
+        times = []
+
+        def consumer():
+            ev = pipe.get()
+            yield ev
+            times.append(sim.now)
+
+        def producer():
+            yield sim.timeout(5)
+            yield pipe.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [5]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        pipe = Pipe(sim, capacity=1)
+        log = []
+
+        def producer():
+            for i in range(2):
+                yield pipe.put(i)
+                log.append(("put", i, sim.now))
+
+        def consumer():
+            yield sim.timeout(4)
+            ev = pipe.get()
+            yield ev
+            log.append(("got", ev.value, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        # second put must wait until the consumer drained the first item
+        assert ("put", 0, 0.0) in log
+        assert ("put", 1, 4.0) in log
+
+    def test_len(self):
+        sim = Simulator()
+        pipe = Pipe(sim)
+        pipe.put(1)
+        pipe.put(2)
+        assert len(pipe) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Pipe(Simulator(), capacity=-1)
+
+
+class TestEngineEdgeCases:
+    def test_all_of_with_already_fired_events(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("early")
+        done = []
+
+        def waiter():
+            values = yield sim.all_of([ev])
+            done.append(values)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [["early"]]
+
+    def test_process_exception_propagates_from_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("process crashed")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError, match="process crashed"):
+            sim.run()
+
+    def test_nested_processes(self):
+        sim = Simulator()
+        log = []
+
+        def leaf(tag, d):
+            yield sim.timeout(d)
+            return tag
+
+        def parent():
+            a = yield sim.process(leaf("a", 2))
+            b = yield sim.process(leaf("b", 3))
+            log.append((a, b, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [("a", "b", 5.0)]
+
+    def test_event_value_none_is_valid(self):
+        sim = Simulator()
+        got = []
+
+        def waiter(ev):
+            value = yield ev
+            got.append(value)
+
+        ev = sim.event()
+        sim.process(waiter(ev))
+        sim._defer(ev.succeed, None)
+        sim.run()
+        assert got == [None]
+
+    def test_zero_delay_timeout_runs_in_order(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            yield sim.timeout(0)
+            log.append("first")
+
+        def second():
+            yield sim.timeout(0)
+            log.append("second")
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        assert log == ["first", "second"]

@@ -1,0 +1,106 @@
+"""Unit tests for client-side rendering from reduced volume data."""
+
+import numpy as np
+import pytest
+
+from repro.compress import CodecError, psnr
+from repro.core.subset_viewing import (
+    ClientSideRenderer,
+    pack_volume_subset,
+    unpack_volume_subset,
+)
+from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+
+
+class TestPackUnpack:
+    def test_roundtrip_full_resolution(self, jet_volume):
+        payload = pack_volume_subset(jet_volume, factor=1, codec="lzo")
+        vol, factor = unpack_volume_subset(payload)
+        assert factor == 1
+        assert vol.shape == jet_volume.shape
+        # 8-bit quantization: max error 1/510
+        assert np.abs(vol - jet_volume).max() <= 0.5 / 255 + 1e-6
+
+    def test_downsampling_reduces_dims(self, jet_volume):
+        payload = pack_volume_subset(jet_volume, factor=2)
+        vol, factor = unpack_volume_subset(payload)
+        assert factor == 2
+        assert vol.shape == tuple(s // 2 for s in jet_volume.shape)
+
+    def test_downsample_is_block_average(self):
+        base = np.zeros((4, 4, 4), dtype=np.float32)
+        base[:2] = 1.0
+        payload = pack_volume_subset(base, factor=2, codec="raw")
+        vol, _ = unpack_volume_subset(payload)
+        assert vol.shape == (2, 2, 2)
+        assert vol[0, 0, 0] == pytest.approx(1.0, abs=1 / 255)
+        assert vol[1, 0, 0] == pytest.approx(0.0, abs=1 / 255)
+
+    def test_higher_factor_smaller_payload(self, jet_volume):
+        p1 = pack_volume_subset(jet_volume, factor=1)
+        p2 = pack_volume_subset(jet_volume, factor=2)
+        p4 = pack_volume_subset(jet_volume, factor=4)
+        assert len(p4) < len(p2) < len(p1)
+
+    def test_subset_much_smaller_than_raw(self, jet_volume):
+        payload = pack_volume_subset(jet_volume, factor=2)
+        assert len(payload) < jet_volume.nbytes / 10
+
+    def test_rejects_lossy_codec(self, jet_volume):
+        with pytest.raises(ValueError):
+            pack_volume_subset(jet_volume, codec="jpeg")
+
+    def test_rejects_bad_inputs(self, jet_volume):
+        with pytest.raises(ValueError):
+            pack_volume_subset(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            pack_volume_subset(jet_volume, factor=0)
+
+    def test_truncated_payload(self, jet_volume):
+        payload = pack_volume_subset(jet_volume, factor=4)
+        with pytest.raises(CodecError):
+            unpack_volume_subset(payload[:10])
+        with pytest.raises(CodecError):
+            unpack_volume_subset(b"XXXX" + payload[4:])
+
+
+class TestClientSideRenderer:
+    def test_render_requires_data(self):
+        client = ClientSideRenderer()
+        with pytest.raises(RuntimeError):
+            client.render(Camera(image_size=(8, 8)))
+
+    def test_receive_and_render(self, jet_volume):
+        client = ClientSideRenderer(tf=TransferFunction.jet())
+        payload = pack_volume_subset(jet_volume, factor=1, codec="lzo")
+        client.receive(payload)
+        assert client.has_data
+        assert client.bytes_received == len(payload)
+        cam = Camera(image_size=(48, 48))
+        local = to_display_rgb(client.render(cam))
+        server = to_display_rgb(
+            render_volume(jet_volume, TransferFunction.jet(), cam)
+        )
+        # full-res 8-bit subset: near-identical to the server render
+        assert psnr(server, local) > 35.0
+
+    def test_reduced_data_degrades_gracefully(self, jet_volume):
+        cam = Camera(image_size=(48, 48))
+        tf = TransferFunction.jet()
+        server = to_display_rgb(render_volume(jet_volume, tf, cam))
+        quality = []
+        for factor in (1, 2, 4):
+            client = ClientSideRenderer(tf=tf)
+            client.receive(pack_volume_subset(jet_volume, factor=factor))
+            local = to_display_rgb(client.render(cam))
+            quality.append(psnr(server, local))
+        assert quality[0] > quality[1] > quality[2]
+        assert quality[1] > 20.0  # half-res remains usable
+
+    def test_view_changes_are_free(self, jet_volume):
+        client = ClientSideRenderer()
+        client.receive(pack_volume_subset(jet_volume, factor=2))
+        received = client.bytes_received
+        for az in (0, 45, 90, 135):
+            client.render(Camera(image_size=(16, 16), azimuth=az))
+        assert client.bytes_received == received

@@ -1,0 +1,116 @@
+"""Unit tests for the ASCII pipeline-timeline renderer."""
+
+import pytest
+
+from repro.core import PipelineConfig, render_timeline, simulate_pipeline
+from repro.sim.cluster import RWCP_CLUSTER
+from repro.sim.costs import JET_PROFILE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_pipeline(
+        PipelineConfig(
+            n_procs=16,
+            n_groups=4,
+            n_steps=16,
+            profile=JET_PROFILE,
+            machine=RWCP_CLUSTER,
+            image_size=(128, 128),
+        )
+    )
+
+
+class TestTimeline:
+    def test_one_row_per_group(self, result):
+        text = render_timeline(result, width=80)
+        rows = [l for l in text.splitlines() if l.startswith("group")]
+        assert len(rows) == 4
+
+    def test_rows_have_requested_width(self, result):
+        text = render_timeline(result, width=60)
+        for line in text.splitlines():
+            if line.startswith("group"):
+                body = line.split("|")[1]
+                assert len(body) == 60
+
+    def test_contains_all_stage_glyphs(self, result):
+        text = render_timeline(result, width=120)
+        body = "".join(
+            l.split("|")[1] for l in text.splitlines() if l.startswith("group")
+        )
+        assert "r" in body and "#" in body and "o" in body
+
+    def test_staggered_starts(self, result):
+        """Later groups begin with idle columns (storage serializes the
+        initial reads) — the pipeline-fill phase made visible."""
+        text = render_timeline(result, width=100)
+        rows = [
+            l.split("|")[1] for l in text.splitlines() if l.startswith("group")
+        ]
+        leading_idle = [len(r) - len(r.lstrip(".")) for r in rows]
+        assert leading_idle[0] == 0
+        assert leading_idle == sorted(leading_idle)
+        assert leading_idle[-1] > 0
+
+    def test_busy_footer(self, result):
+        text = render_timeline(result, width=50)
+        assert text.splitlines()[-1].startswith("busy:")
+
+    def test_width_validation(self, result):
+        with pytest.raises(ValueError):
+            render_timeline(result, width=5)
+
+    def test_header_mentions_configuration(self, result):
+        text = render_timeline(result)
+        assert "P=16" in text and "L=4" in text and "steps=16" in text
+
+
+class TestTraceExport:
+    def test_stage_intervals_complete(self, result):
+        from repro.core.timeline import stage_intervals
+
+        rows = stage_intervals(result)
+        # 16 steps x 3 stages
+        assert len(rows) == 48
+        steps = {r[0] for r in rows}
+        assert steps == set(range(16))
+        for _, _, stage, start, end in rows:
+            assert stage in ("input", "render", "output")
+            assert end >= start >= 0.0
+
+    def test_intervals_sorted_by_start(self, result):
+        from repro.core.timeline import stage_intervals
+
+        starts = [r[3] for r in stage_intervals(result)]
+        assert starts == sorted(starts)
+
+    def test_csv_format(self, result):
+        from repro.core.timeline import export_trace_csv
+
+        csv = export_trace_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "step,group,stage,start,end,duration"
+        assert len(lines) == 49
+        step, group, stage, start, end, duration = lines[1].split(",")
+        assert stage in ("input", "render", "output")
+        assert float(end) - float(start) == pytest.approx(float(duration), abs=1e-5)
+
+    def test_stage_durations_match_records(self, result):
+        from repro.core.timeline import stage_intervals
+
+        frame = result.metrics.frames[3]
+        rows = {
+            (r[0], r[2]): (r[3], r[4]) for r in stage_intervals(result)
+        }
+        assert rows[(3, "render")] == (frame.render_start, frame.render_end)
+
+
+class TestResultErgonomics:
+    def test_result_timeline_method(self, result):
+        text = result.timeline(width=40)
+        assert "pipeline timeline" in text
+
+    def test_result_trace_csv_method(self, result):
+        csv = result.trace_csv()
+        assert csv.startswith("step,group,stage")

@@ -1,0 +1,147 @@
+"""Unit tests for the functional transport and the daemon wire protocol."""
+
+import threading
+
+import pytest
+
+from repro.daemon.protocol import (
+    ControlMessage,
+    FrameMessage,
+    HelloMessage,
+    ProtocolError,
+    decode_message,
+)
+from repro.net.transport import (
+    Channel,
+    ChannelClosed,
+    FramedConnection,
+    TrafficLog,
+)
+from repro.sim.cluster import NASA_TO_UCD
+
+
+class TestChannel:
+    def test_fifo(self):
+        ch = Channel()
+        ch.send(b"one")
+        ch.send(b"two")
+        assert ch.recv() == b"one"
+        assert ch.recv() == b"two"
+
+    def test_recv_timeout(self):
+        ch = Channel()
+        with pytest.raises(TimeoutError):
+            ch.recv(timeout=0.05)
+
+    def test_close_unblocks_reader(self):
+        ch = Channel()
+        errors = []
+
+        def reader():
+            try:
+                ch.recv(timeout=5)
+            except ChannelClosed:
+                errors.append("closed")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        ch.close()
+        t.join(timeout=2)
+        assert errors == ["closed"]
+
+    def test_send_after_close_rejected(self):
+        ch = Channel()
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.send(b"late")
+
+    def test_close_idempotent(self):
+        ch = Channel()
+        ch.close()
+        ch.close()
+
+
+class TestFramedConnection:
+    def test_pair_bidirectional(self):
+        a, b = FramedConnection.pair()
+        a.send(b"ping")
+        assert b.recv() == b"ping"
+        b.send(b"pong")
+        assert a.recv() == b"pong"
+
+    def test_traffic_logged(self):
+        a, b = FramedConnection.pair()
+        a.send(b"12345")
+        a.send(b"123")
+        b.recv()
+        b.recv()
+        assert a.traffic.sent == [5, 3]
+        assert a.traffic.bytes_sent == 8
+        assert b.traffic.received == [5, 3]
+
+    def test_replay_transfer(self):
+        log = TrafficLog(sent=[1000, 2000])
+        expected = NASA_TO_UCD.transfer_s(1000) + NASA_TO_UCD.transfer_s(2000)
+        assert log.replay_transfer_s(NASA_TO_UCD) == pytest.approx(expected)
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        msg = FrameMessage(
+            frame_id=7,
+            time_step=42,
+            codec="jpeg+lzo",
+            payload=b"\x01\x02\x03",
+            piece_index=2,
+            n_pieces=4,
+            row_range=(10, 20),
+            image_shape=(64, 64),
+        )
+        out = decode_message(msg.encode())
+        assert isinstance(out, FrameMessage)
+        assert out == msg
+
+    def test_frame_defaults(self):
+        msg = FrameMessage(frame_id=0, time_step=0, codec="raw", payload=b"")
+        out = decode_message(msg.encode())
+        assert out.n_pieces == 1
+        assert out.row_range is None
+        assert out.image_shape is None
+
+    def test_control_roundtrip(self):
+        msg = ControlMessage(tag="view", params={"azimuth": 30.5, "elevation": -2})
+        out = decode_message(msg.encode())
+        assert out == msg
+
+    def test_control_empty_params(self):
+        out = decode_message(ControlMessage(tag="start_renderer").encode())
+        assert out.params == {}
+
+    def test_hello_roundtrip(self):
+        out = decode_message(HelloMessage(role="display", name="ucd-o2").encode())
+        assert out.role == "display"
+        assert out.name == "ucd-o2"
+
+    def test_binary_payload_preserved(self):
+        payload = bytes(range(256)) * 4
+        msg = FrameMessage(frame_id=1, time_step=1, codec="raw", payload=payload)
+        assert decode_message(msg.encode()).payload == payload
+
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"JUNK" + bytes(10))
+
+    def test_truncated_header(self):
+        msg = ControlMessage(tag="x").encode()
+        with pytest.raises(ProtocolError):
+            decode_message(msg[:10])
+
+    def test_bad_json(self):
+        frame = b"RVIZ" + bytes([2]) + (5).to_bytes(4, "little") + b"{oops"
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
+
+    def test_unknown_kind(self):
+        frame = b"RVIZ" + bytes([9]) + (2).to_bytes(4, "little") + b"{}"
+        with pytest.raises(ProtocolError):
+            decode_message(frame)

@@ -1,0 +1,156 @@
+"""Unit tests for two-phase compression and frame differencing."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    BZIPCodec,
+    CodecError,
+    FrameDifferencingCodec,
+    JPEGCodec,
+    LZOCodec,
+    RLECodec,
+    TwoPhaseCodec,
+    get_codec,
+    psnr,
+)
+
+
+class TestTwoPhase:
+    def test_jpeg_lzo_shrinks_jpeg(self, rendered_rgb):
+        """Table 1's key effect: LZO on JPEG output gains extra bytes."""
+        jpeg = JPEGCodec(quality=75)
+        combo = get_codec("jpeg+lzo", quality=75)
+        solo = len(jpeg.encode_image(rendered_rgb))
+        two = len(combo.encode_image(rendered_rgb))
+        assert two < solo
+
+    def test_decode_matches_jpeg_alone(self, gradient_image):
+        jpeg = JPEGCodec(quality=75)
+        combo = TwoPhaseCodec(JPEGCodec(quality=75), LZOCodec())
+        direct = jpeg.decode_image(jpeg.encode_image(gradient_image))
+        via = combo.decode_image(combo.encode_image(gradient_image))
+        assert np.array_equal(direct, via)
+
+    def test_lossless_pair_roundtrips_bytes(self):
+        combo = TwoPhaseCodec(RLECodec(), LZOCodec())
+        data = b"aa" * 500 + bytes(range(256))
+        assert combo.decode(combo.encode(data)) == data
+        assert combo.lossless
+
+    def test_lossy_flag_propagates(self):
+        combo = TwoPhaseCodec(JPEGCodec(), LZOCodec())
+        assert not combo.lossless
+
+    def test_second_stage_must_be_lossless(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCodec(LZOCodec(), JPEGCodec())
+
+    def test_name_composition(self):
+        assert TwoPhaseCodec(JPEGCodec(), BZIPCodec()).name == "jpeg+bzip"
+
+    def test_jpeg_bzip_roundtrip(self, gradient_image):
+        combo = get_codec("jpeg+bzip", quality=80)
+        out = combo.decode_image(combo.encode_image(gradient_image))
+        assert psnr(gradient_image, out) > 30.0
+
+
+class TestFrameDifferencing:
+    def make_pair(self, **kw):
+        return FrameDifferencingCodec(**kw), FrameDifferencingCodec(**kw)
+
+    def test_first_frame_is_key(self, gradient_image):
+        enc, dec = self.make_pair()
+        payload = enc.encode_image(gradient_image)
+        assert payload[0] == 0  # _KEY
+        out = dec.decode_image(payload)
+        assert np.array_equal(out, gradient_image)
+
+    def test_static_scene_deltas_tiny(self, gradient_image):
+        enc, dec = self.make_pair()
+        first = enc.encode_image(gradient_image)
+        second = enc.encode_image(gradient_image)
+        assert len(second) < len(first) / 5
+        dec.decode_image(first)
+        out = dec.decode_image(second)
+        assert np.array_equal(out, gradient_image)
+
+    def test_small_change_stream(self, gradient_image):
+        enc, dec = self.make_pair()
+        frames = [gradient_image]
+        for k in range(1, 4):
+            f = gradient_image.copy()
+            f[10 * k : 10 * k + 5, :5] += 7
+            frames.append(f)
+        for f in frames:
+            out = dec.decode_image(enc.encode_image(f))
+            assert np.array_equal(out, f)
+
+    def test_wraparound_delta_exact(self):
+        enc, dec = self.make_pair()
+        a = np.full((8, 8, 3), 250, dtype=np.uint8)
+        b = np.full((8, 8, 3), 5, dtype=np.uint8)  # wraps under uint8 delta
+        dec.decode_image(enc.encode_image(a))
+        out = dec.decode_image(enc.encode_image(b))
+        assert np.array_equal(out, b)
+
+    def test_shape_change_forces_key(self, gradient_image):
+        enc, dec = self.make_pair()
+        dec.decode_image(enc.encode_image(gradient_image))
+        other = gradient_image[:48, :48]
+        payload = enc.encode_image(other)
+        assert payload[0] == 0  # key again
+        assert np.array_equal(dec.decode_image(payload), other)
+
+    def test_reset_forces_key(self, gradient_image):
+        enc, dec = self.make_pair()
+        dec.decode_image(enc.encode_image(gradient_image))
+        enc.reset()
+        payload = enc.encode_image(gradient_image)
+        assert payload[0] == 0
+
+    def test_key_interval(self, gradient_image):
+        enc, dec = self.make_pair(key_interval=2)
+        kinds = []
+        for _ in range(5):
+            payload = enc.encode_image(gradient_image)
+            kinds.append(payload[0])
+            dec.decode_image(payload)
+        assert kinds == [0, 1, 1, 0, 1]
+
+    def test_delta_without_reference_rejected(self, gradient_image):
+        enc, _ = self.make_pair()
+        enc.encode_image(gradient_image)
+        delta = enc.encode_image(gradient_image)
+        fresh = FrameDifferencingCodec()
+        with pytest.raises(CodecError):
+            fresh.decode_image(delta)
+
+    def test_byte_interface_roundtrip(self):
+        enc, dec = self.make_pair()
+        a = bytes(range(200))
+        b = bytes((x + 1) % 256 for x in range(200))
+        assert dec.decode(enc.encode(a)) == a
+        assert dec.decode(enc.encode(b)) == b
+
+    def test_inner_must_be_lossless(self):
+        with pytest.raises(ValueError):
+            FrameDifferencingCodec(inner=JPEGCodec())
+
+    def test_beats_independent_compression_on_coherent_animation(
+        self, gradient_image
+    ):
+        """§7.1: temporal coherence beats per-frame compression when
+        inter-frame changes are localized (a small feature moving over a
+        complex but static background)."""
+        frames = []
+        for k in range(4):
+            f = gradient_image.copy()
+            f[20 + 4 * k : 30 + 4 * k, 40:50] = 255
+            frames.append(f)
+        fd = FrameDifferencingCodec()
+        fd_total = sum(len(fd.encode_image(f)) for f in frames[1:])
+        fd.reset()
+        lzo = LZOCodec()
+        indep_total = sum(len(lzo.encode_image(f)) for f in frames[1:])
+        assert fd_total < indep_total / 2

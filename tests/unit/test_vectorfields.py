@@ -1,0 +1,127 @@
+"""Unit tests for vector fields and derived-quantity operators."""
+
+import numpy as np
+import pytest
+
+from repro.data.vectorfields import (
+    abc_flow,
+    curl,
+    divergence,
+    gradient_magnitude,
+    normalize_scalar,
+    velocity_magnitude,
+    vorticity_magnitude,
+)
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return abc_flow((24, 24, 24), t=1.0)
+
+
+class TestABCFlow:
+    def test_shape_and_dtype(self, flow):
+        assert flow.shape == (24, 24, 24, 3)
+        assert flow.dtype == np.float32
+
+    def test_divergence_free(self, flow):
+        """ABC flow is exactly incompressible; discretization noise only."""
+        div = divergence(flow)
+        scale = velocity_magnitude(flow).mean()
+        interior = div[2:-2, 2:-2, 2:-2]
+        assert np.abs(interior).mean() < 0.15 * scale
+
+    def test_beltrami_property(self, flow):
+        """ABC flow is a Beltrami flow: curl(v) is parallel to v (equal,
+        for unit wavenumber) — check alignment on the interior."""
+        w = curl(flow)[3:-3, 3:-3, 3:-3]
+        v = flow[3:-3, 3:-3, 3:-3]
+        # account for the 2π domain mapped onto the unit cube: curl picks
+        # up a 2π factor per derivative
+        cos = (w * v).sum(axis=3) / (
+            np.linalg.norm(w, axis=3) * np.linalg.norm(v, axis=3) + 1e-9
+        )
+        assert cos.mean() > 0.95
+
+    def test_time_coherence(self):
+        a = abc_flow((12, 12, 12), t=0.0)
+        b = abc_flow((12, 12, 12), t=0.5)
+        c = abc_flow((12, 12, 12), t=5.0)
+        assert not np.array_equal(a, b)
+        # small dt -> small change; large dt -> larger change
+        assert np.abs(a - b).mean() < np.abs(a - c).mean()
+
+
+class TestOperators:
+    def test_magnitude_of_unit_x(self):
+        field = np.zeros((4, 4, 4, 3), dtype=np.float32)
+        field[..., 0] = 3.0
+        field[..., 1] = 4.0
+        assert np.allclose(velocity_magnitude(field), 5.0)
+
+    def test_curl_of_constant_is_zero(self):
+        field = np.ones((8, 8, 8, 3), dtype=np.float32)
+        assert np.abs(curl(field)).max() < 1e-5
+
+    def test_curl_of_rigid_rotation(self):
+        """v = Ω × r has curl 2Ω; use Ω = ẑ."""
+        n = 16
+        x = np.linspace(0, 1, n, dtype=np.float32)
+        X, Y, _ = np.meshgrid(x, x, x, indexing="ij")
+        field = np.zeros((n, n, n, 3), dtype=np.float32)
+        field[..., 0] = -(Y - 0.5)
+        field[..., 1] = X - 0.5
+        w = curl(field)
+        interior = w[2:-2, 2:-2, 2:-2]
+        assert np.allclose(interior[..., 2], 2.0, atol=0.05)
+        assert np.abs(interior[..., :2]).max() < 0.05
+
+    def test_divergence_of_linear_field(self):
+        n = 12
+        x = np.linspace(0, 1, n, dtype=np.float32)
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        field = np.stack([2 * X, 3 * Y, -1 * Z], axis=3)
+        div = divergence(field)
+        assert np.allclose(div[1:-1, 1:-1, 1:-1], 4.0, atol=0.05)
+
+    def test_vorticity_magnitude_nonnegative(self, flow):
+        assert (vorticity_magnitude(flow) >= 0).all()
+
+    def test_gradient_magnitude_flat_is_zero(self):
+        assert gradient_magnitude(np.full((6, 6, 6), 3.0)).max() == 0.0
+
+    def test_gradient_magnitude_highlights_interface(self):
+        vol = np.zeros((16, 16, 16), dtype=np.float32)
+        vol[8:] = 1.0  # sharp front at x=8
+        g = gradient_magnitude(vol)
+        front = g[7:9].mean()
+        away = g[:4].mean()
+        assert front > 10 * (away + 1e-9)
+
+    def test_operators_validate_shapes(self):
+        with pytest.raises(ValueError):
+            velocity_magnitude(np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            curl(np.zeros((4, 4, 4, 2)))
+        with pytest.raises(ValueError):
+            gradient_magnitude(np.zeros((4, 4)))
+
+    def test_normalize_scalar(self):
+        vol = np.linspace(-5, 5, 27, dtype=np.float32).reshape(3, 3, 3)
+        out = normalize_scalar(vol)
+        assert out.min() == 0.0 and out.max() == 1.0
+        assert normalize_scalar(np.full((2, 2, 2), 9.0)).max() == 0.0
+
+
+class TestRenderableDerivedQuantities:
+    def test_vorticity_renders(self):
+        """End to end: vorticity magnitude of a real vector field through
+        the renderer — the jet/vortex datasets' construction."""
+        from repro.render import Camera, TransferFunction, render_volume
+
+        field = abc_flow((20, 20, 20), t=0.0)
+        scalar = normalize_scalar(vorticity_magnitude(field))
+        img = render_volume(
+            scalar, TransferFunction.vortex(), Camera(image_size=(24, 24))
+        )
+        assert img[..., 3].max() > 0.1
