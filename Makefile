@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-fast reproduce examples clean
+.PHONY: install test bench bench-fast bench-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,12 @@ bench:
 
 bench-fast:
 	REPRO_BENCH_FAST=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Quick decode-throughput guardrail (seconds, not minutes): runs only the
+# perf_smoke-marked tests, which assert order-of-magnitude floors.
+# PYTHONPATH=src so it works from a fresh checkout without `make install`.
+bench-smoke:
+	PYTHONPATH=src $(PY) -m pytest tests/ -m perf_smoke
 
 reproduce:
 	$(PY) examples/reproduce_paper.py

@@ -6,6 +6,15 @@ JPEG trades quality for size.  This bench measures encode/decode
 throughput of every codec on a real 256² jet frame with pytest-benchmark
 statistics (these are also the numbers a user needs to budget their own
 display pipeline).
+
+Run as a script for machine-readable results tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py --json
+
+writes/updates ``BENCH_codec.json`` at the repo root, merging the run
+under ``--label`` (default ``"current"``) so a pre-change ``baseline``
+entry and the post-change numbers live side by side, along with the
+decode speedup of every method against the baseline.
 """
 
 import pytest
@@ -61,3 +70,108 @@ def test_lzo_decodes_faster_than_bzip(benchmark, jet_frames):
     assert t_lzo < t_bzip
     # and BZIP compresses tighter, the other side of the trade-off
     assert len(bzip_payload) < len(lzo_payload)
+
+
+# -- machine-readable mode (perf trajectory across PRs) -----------------------
+
+JSON_METHODS = ("rle", "lzo", "deflate", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip")
+
+
+def _bench_frame(size: int = 256):
+    """Render one real jet frame (same content as the ``jet_frames`` fixture)."""
+    from repro.data import turbulent_jet
+    from repro.render import Camera, TransferFunction, render_volume, to_display_rgb
+
+    vol = turbulent_jet().volume(40)
+    cam = Camera(image_size=(size, size))
+    return to_display_rgb(render_volume(vol, TransferFunction.jet(), cam))
+
+
+def _clock(fn, *args, repeat: int = 5) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_throughput(size: int = 256, repeat: int = 5) -> dict:
+    """Encode/decode MB/s per codec on a real rendered frame."""
+    frame = _bench_frame(size)
+    mb = frame.nbytes / 1e6
+    results = {}
+    for method in JSON_METHODS:
+        codec = get_codec(method)
+        payload = codec.encode_image(frame)
+        enc_s = _clock(codec.encode_image, frame, repeat=repeat)
+        dec_s = _clock(codec.decode_image, payload, repeat=repeat)
+        results[method] = {
+            "encode_MBps": round(mb / enc_s, 3),
+            "decode_MBps": round(mb / dec_s, 3),
+            "ratio": round(frame.nbytes / len(payload), 3),
+        }
+    # The JPEG+Huffman path in both stream formats, when the codec knows
+    # how to emit the legacy (v1, non-interleaved) stream: the in-run
+    # apples-to-apples comparison behind the fast-decode claim.
+    try:
+        legacy = get_codec("jpeg", stream_version=1)
+    except TypeError:
+        legacy = None
+    if legacy is not None:
+        payload = legacy.encode_image(frame)
+        results["jpeg_v1_stream"] = {
+            "encode_MBps": round(mb / _clock(legacy.encode_image, frame, repeat=repeat), 3),
+            "decode_MBps": round(mb / _clock(legacy.decode_image, payload, repeat=repeat), 3),
+            "ratio": round(frame.nbytes / len(payload), 3),
+        }
+    return {"image_size": size, "frame_MB": round(mb, 3), "methods": results}
+
+
+def write_json(path, label: str, size: int, repeat: int) -> dict:
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    doc = {}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc[label] = measure_throughput(size=size, repeat=repeat)
+    base = doc.get("baseline")
+    if base is not None and label != "baseline":
+        speedups = {}
+        for method, row in doc[label]["methods"].items():
+            ref = base["methods"].get(method)
+            if ref and ref["decode_MBps"]:
+                speedups[method] = round(row["decode_MBps"] / ref["decode_MBps"], 2)
+        doc[f"{label}_decode_speedup_vs_baseline"] = speedups
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def main(argv=None) -> None:
+    import argparse
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", action="store_true", help="write BENCH_codec.json")
+    ap.add_argument("--out", default=str(repo_root / "BENCH_codec.json"))
+    ap.add_argument("--label", default="current")
+    ap.add_argument("--size", type=int, default=256)
+    ap.add_argument("--repeat", type=int, default=5)
+    args = ap.parse_args(argv)
+    if not args.json:
+        ap.error("nothing to do: pass --json")
+    doc = write_json(args.out, args.label, args.size, args.repeat)
+    for method, row in sorted(doc[args.label]["methods"].items()):
+        print(
+            f"{method:<16} encode {row['encode_MBps']:>9.2f} MB/s   "
+            f"decode {row['decode_MBps']:>9.2f} MB/s   ratio {row['ratio']:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

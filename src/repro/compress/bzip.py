@@ -12,13 +12,21 @@ Burrows-Wheeler block-sorting compression algorithm and Huffman coding"):
 5. **Huffman** — canonical length-limited code over the 258-symbol
    alphabet, one code table per block.
 
-Container format::
+Container formats (the decoder accepts both)::
 
-    "RBZP" | u32 original_len | u32 block_size
-    per block: u32 rle1_len | u32 primary | u32 nsyms | u32 nbits
-               | huffman table | u32 payload_len | payload
+    v1: "RBZP" | u32 original_len | u32 block_size
+        per block: u32 rle1_len | u32 primary | u32 nsyms | u32 nbits
+                   | huffman table | u32 payload_len | payload
 
-``block_size`` plays the role of bzip2's ``-1``..``-9`` knob.
+    v2: "RBZ2" | u32 original_len | u32 block_size
+        per block: u32 rle1_len | u32 primary | u32 nsyms
+                   | huffman table | interleaved-lane blob
+                     (see repro.compress.huffman.encode_interleaved)
+
+v2 is the default: its per-block symbol stream is dealt into interleaved
+Huffman lanes so the decoder advances many lanes per NumPy pass instead of
+one symbol per Python iteration.  ``block_size`` plays the role of bzip2's
+``-1``..``-9`` knob.
 """
 
 from __future__ import annotations
@@ -29,13 +37,22 @@ import numpy as np
 
 from repro.compress.base import CodecError, LosslessCodec, register_codec
 from repro.compress.bwt import bwt_forward, bwt_inverse
-from repro.compress.huffman import HuffmanCode, build_code, decode_symbols, encode_symbols
+from repro.compress.context import CodecContext
+from repro.compress.huffman import (
+    HuffmanCode,
+    build_code,
+    decode_interleaved,
+    decode_symbols,
+    encode_interleaved,
+    encode_symbols,
+)
 from repro.compress.mtf import mtf_forward, mtf_inverse
 from repro.compress.rle import RLECodec, find_runs
 
 __all__ = ["BZIPCodec"]
 
 _MAGIC = b"RBZP"
+_MAGIC_V2 = b"RBZ2"
 _RUNA = 0
 _RUNB = 1
 _VALUE_OFFSET = 1  # MTF value v >= 1 becomes symbol v + 1
@@ -67,25 +84,46 @@ def _zero_runs_to_symbols(mtf_bytes: bytes) -> np.ndarray:
 
 
 def _symbols_to_zero_runs(symbols: np.ndarray) -> bytes:
-    """Invert :func:`_zero_runs_to_symbols` (EOB terminates)."""
-    out = bytearray()
-    run = 0
-    weight = 1
-    for s in symbols.tolist():
-        if s in (_RUNA, _RUNB):
-            run += weight * (1 if s == _RUNA else 2)
-            weight <<= 1
-            continue
-        if run:
-            out += b"\x00" * run
-            run = 0
-            weight = 1
-        if s == _EOB:
-            return bytes(out)
-        if not _VALUE_OFFSET <= s <= 256:
-            raise CodecError(f"bzip: symbol {s} out of range")
-        out.append(s - _VALUE_OFFSET)
-    raise CodecError("bzip: missing end-of-block symbol")
+    """Invert :func:`_zero_runs_to_symbols` (EOB terminates).
+
+    Vectorized: RUNA/RUNB digit groups collapse to zero-run lengths via a
+    segmented positional sum, then one ``np.repeat`` materializes the
+    output — no per-symbol Python loop.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    eobs = np.flatnonzero(symbols == _EOB)
+    if eobs.size == 0:
+        raise CodecError("bzip: missing end-of-block symbol")
+    symbols = symbols[: eobs[0]]
+    n = symbols.size
+    if n == 0:
+        return b""
+    if symbols.max() > 256:
+        raise CodecError(
+            f"bzip: symbol {int(symbols.max())} out of range"
+        )
+    is_run = symbols <= _RUNB
+    # group consecutive run digits; digit i of a group contributes
+    # (digit_value) * 2^i, digit_value = 1 (RUNA) or 2 (RUNB)
+    group_start = is_run & np.concatenate(([True], ~is_run[:-1]))
+    grp = np.cumsum(group_start) - 1  # valid where is_run
+    n_groups = int(group_start.sum())
+    run_lens = np.zeros(max(n_groups, 1), dtype=np.int64)
+    if n_groups:
+        digit_pos = np.arange(n) - np.maximum.accumulate(
+            np.where(group_start, np.arange(n), -1)
+        )
+        contrib = (symbols + 1) << np.where(is_run, digit_pos, 0)
+        np.add.at(run_lens, grp[is_run], contrib[is_run])
+    # stream items in order: each digit group (at its first digit) expands
+    # to run_lens zeros, each value symbol to one byte
+    item = ~is_run | group_start
+    item_is_run = is_run[item]
+    item_vals = np.where(item_is_run, 0, symbols[item] - _VALUE_OFFSET)
+    # grp is -1 before the first group; clamp — those items are values,
+    # so the gathered run length is discarded by the where()
+    item_counts = np.where(item_is_run, run_lens[np.maximum(grp[item], 0)], 1)
+    return np.repeat(item_vals, item_counts).astype(np.uint8).tobytes()
 
 
 class BZIPCodec(LosslessCodec):
@@ -97,19 +135,40 @@ class BZIPCodec(LosslessCodec):
         Bytes per independently-sorted block (default 512 KiB).  Larger
         blocks improve ratio at superlinear sort cost, mirroring bzip2's
         ``-1``..``-9``.
+    stream_version:
+        2 (default) emits the interleaved-lane container (``RBZ2``);
+        1 emits the legacy single-stream container (``RBZP``).  Both
+        decode regardless of this setting.
+    context:
+        Optional shared :class:`~repro.compress.context.CodecContext` for
+        cross-frame Huffman-table reuse; private when omitted.
     """
 
     name = "bzip"
 
-    def __init__(self, block_size: int = 512 * 1024):
+    def __init__(
+        self,
+        block_size: int = 512 * 1024,
+        stream_version: int = 2,
+        context: CodecContext | None = None,
+    ):
         if block_size < 1024:
             raise ValueError("block_size must be >= 1024")
+        if stream_version not in (1, 2):
+            raise ValueError("stream_version must be 1 or 2")
         self.block_size = block_size
+        self.stream_version = stream_version
+        self._ctx = context if context is not None else CodecContext()
         self._rle1 = RLECodec(min_run=4)
+
+    def use_context(self, context: CodecContext) -> None:
+        """Adopt a shared cross-codec context (e.g. one per connection)."""
+        self._ctx = context
 
     def encode(self, data: bytes) -> bytes:
         pre = self._rle1.encode(data)
-        out = [_MAGIC, struct.pack("<II", len(data), self.block_size)]
+        magic = _MAGIC if self.stream_version == 1 else _MAGIC_V2
+        out = [magic, struct.pack("<II", len(data), self.block_size)]
         for start in range(0, max(len(pre), 1), self.block_size):
             block = pre[start : start + self.block_size]
             last, primary = bwt_forward(block)
@@ -117,29 +176,62 @@ class BZIPCodec(LosslessCodec):
             symbols = _zero_runs_to_symbols(mtf)
             freqs = np.bincount(symbols, minlength=_ALPHABET)
             code = build_code(freqs)
-            payload, nbits = encode_symbols(symbols, code)
-            out.append(
-                struct.pack("<IIII", len(block), primary, symbols.size, nbits)
-            )
-            out.append(code.to_bytes())
-            out.append(struct.pack("<I", len(payload)))
-            out.append(payload)
+            if self.stream_version == 1:
+                payload, nbits = encode_symbols(symbols, code)
+                out.append(
+                    struct.pack(
+                        "<IIII", len(block), primary, symbols.size, nbits
+                    )
+                )
+                out.append(code.to_bytes())
+                out.append(struct.pack("<I", len(payload)))
+                out.append(payload)
+            else:
+                out.append(
+                    struct.pack("<III", len(block), primary, symbols.size)
+                )
+                out.append(code.to_bytes())
+                out.append(encode_interleaved(symbols, code))
         return b"".join(out)
 
     def decode(self, payload: bytes) -> bytes:
-        if len(payload) < 12 or payload[:4] != _MAGIC:
+        if len(payload) < 12:
+            raise CodecError("bzip: bad or truncated header")
+        magic = payload[:4]
+        if magic == _MAGIC:
+            version = 1
+        elif magic == _MAGIC_V2:
+            version = 2
+        else:
             raise CodecError("bzip: bad or truncated header")
         orig_len, _block_size = struct.unpack_from("<II", payload, 4)
         offset = 12
         pre = bytearray()
         while offset < len(payload):
-            if offset + 16 > len(payload):
-                raise CodecError("bzip: truncated block header")
+            block, offset = self._decode_block(payload, offset, version)
+            pre += block
+        data = self._rle1.decode(bytes(pre))
+        if len(data) != orig_len:
+            raise CodecError("bzip: original length mismatch")
+        return data
+
+    def _decode_block(
+        self, payload: bytes, offset: int, version: int
+    ) -> tuple[bytes, int]:
+        head = 16 if version == 1 else 12
+        if offset + head > len(payload):
+            raise CodecError("bzip: truncated block header")
+        if version == 1:
             block_len, primary, nsyms, nbits = struct.unpack_from(
                 "<IIII", payload, offset
             )
-            offset += 16
-            code, offset = HuffmanCode.from_bytes(payload, offset)
+        else:
+            block_len, primary, nsyms = struct.unpack_from(
+                "<III", payload, offset
+            )
+        offset += head
+        code, offset = self._ctx.huffman_from_bytes(payload, offset)
+        if version == 1:
             if offset + 4 > len(payload):
                 raise CodecError("bzip: truncated payload length")
             (plen,) = struct.unpack_from("<I", payload, offset)
@@ -150,16 +242,14 @@ class BZIPCodec(LosslessCodec):
                 payload[offset : offset + plen], nbits, nsyms, code
             )
             offset += plen
-            mtf = _symbols_to_zero_runs(symbols)
-            last = mtf_inverse(mtf)
-            block = bwt_inverse(last, primary)
-            if len(block) != block_len:
-                raise CodecError("bzip: block length mismatch")
-            pre += block
-        data = self._rle1.decode(bytes(pre))
-        if len(data) != orig_len:
-            raise CodecError("bzip: original length mismatch")
-        return data
+        else:
+            symbols, offset = decode_interleaved(payload, offset, nsyms, code)
+        mtf = _symbols_to_zero_runs(symbols)
+        last = mtf_inverse(mtf)
+        block = bwt_inverse(last, primary)
+        if len(block) != block_len:
+            raise CodecError("bzip: block length mismatch")
+        return block, offset
 
 
 register_codec("bzip", lambda **kw: BZIPCodec(**kw))

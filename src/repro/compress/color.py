@@ -13,10 +13,30 @@ import numpy as np
 __all__ = [
     "rgb_to_ycbcr",
     "ycbcr_to_rgb",
+    "ycbcr_planes_to_rgb",
+    "ycbcr_420_planes_to_rgb",
     "downsample_420",
     "upsample_420",
     "pad_to_multiple",
 ]
+
+# YCbCr -> RGB as one affine map over planar (3, H*W) data:
+# rgb = _FROM_YCC @ ycc + _FROM_YCC_BIAS (the bias folds the -128 chroma
+# centering through the matrix), so the inverse conversion is a single
+# small GEMM plus whole-row passes — planar rows keep every pass
+# contiguous, which beats per-pixel (H, W, 3) striding severalfold.
+_FROM_YCC = np.array(
+    [
+        [1.0, 0.0, 1.402],
+        [1.0, -0.344136, -0.714136],
+        [1.0, 1.772, 0.0],
+    ],
+    dtype=np.float32,
+)
+_FROM_YCC_BIAS = np.array(
+    [[-128.0 * 1.402], [128.0 * (0.344136 + 0.714136)], [-128.0 * 1.772]],
+    dtype=np.float32,
+)
 
 
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
@@ -31,14 +51,52 @@ def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
 
 def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
     """``(H, W, 3) float`` YCbCr → ``(H, W, 3) uint8`` RGB (clipped)."""
-    y = ycc[..., 0]
-    cb = ycc[..., 1] - 128.0
-    cr = ycc[..., 2] - 128.0
-    r = y + 1.402 * cr
-    g = y - 0.344136 * cb - 0.714136 * cr
-    b = y + 1.772 * cb
-    rgb = np.stack([r, g, b], axis=-1)
-    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+    return ycbcr_planes_to_rgb(ycc[..., 0], ycc[..., 1], ycc[..., 2])
+
+
+def ycbcr_planes_to_rgb(
+    y: np.ndarray, cb: np.ndarray, cr: np.ndarray
+) -> np.ndarray:
+    """Like :func:`ycbcr_to_rgb` but from separate component planes.
+
+    Skips materializing the stacked ``(H, W, 3)`` intermediate — the
+    planes are gathered straight into the planar GEMM input.
+    """
+    h, w = y.shape
+    p = np.empty((3, h, w), dtype=np.float32)
+    p[0] = y
+    p[1] = cb
+    p[2] = cr
+    return _planar_to_rgb(p)
+
+
+def ycbcr_420_planes_to_rgb(
+    y: np.ndarray, cb: np.ndarray, cr: np.ndarray
+) -> np.ndarray:
+    """:func:`ycbcr_planes_to_rgb` with 2×-subsampled chroma planes.
+
+    ``cb``/``cr`` are at least ``ceil(h/2) x ceil(w/2)``; the
+    nearest-neighbour upsample happens as four strided scatters straight
+    into the planar GEMM input, never materializing full-size chroma.
+    """
+    h, w = y.shape
+    p = np.empty((3, h, w), dtype=np.float32)
+    p[0] = y
+    for dst, src in ((p[1], cb), (p[2], cr)):
+        dst[0::2, 0::2] = src[: (h + 1) // 2, : (w + 1) // 2]
+        dst[0::2, 1::2] = src[: (h + 1) // 2, : w // 2]
+        dst[1::2, 0::2] = src[: h // 2, : (w + 1) // 2]
+        dst[1::2, 1::2] = src[: h // 2, : w // 2]
+    return _planar_to_rgb(p)
+
+
+def _planar_to_rgb(p: np.ndarray) -> np.ndarray:
+    _, h, w = p.shape
+    rgb = _FROM_YCC @ p.reshape(3, -1)
+    rgb += _FROM_YCC_BIAS
+    np.rint(rgb, out=rgb)
+    np.clip(rgb, 0.0, 255.0, out=rgb)
+    return rgb.T.astype(np.uint8).reshape(h, w, 3)
 
 
 def downsample_420(plane: np.ndarray) -> np.ndarray:
@@ -49,8 +107,9 @@ def downsample_420(plane: np.ndarray) -> np.ndarray:
 
 def upsample_420(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
     """Nearest-neighbour 2× upsample, cropped to ``out_shape``."""
-    up = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
-    return up[: out_shape[0], : out_shape[1]]
+    h, w = plane.shape
+    up = np.broadcast_to(plane[:, None, :, None], (h, 2, w, 2))
+    return up.reshape(2 * h, 2 * w)[: out_shape[0], : out_shape[1]]
 
 
 def pad_to_multiple(plane: np.ndarray, multiple: int) -> np.ndarray:

@@ -1,0 +1,145 @@
+"""Persistent codec contexts: cross-frame caches for the decode fast path.
+
+The frames of a time series are compressed independently, but in practice
+their entropy-coding side tables barely change: a smooth animation re-derives
+near-identical Huffman code tables frame after frame, the JPEG quantization
+matrices are a pure function of the quality knob, and every frame needs the
+same scratch arrays.  The paper's display workstation must decompress at the
+arrival rate of the stream (§4.2, Table 2), so rebuilding those structures
+per frame is pure waste on the critical path.
+
+A :class:`CodecContext` owns three caches, each keyed on *content*, never on
+frame identity:
+
+- **Huffman codes** keyed by their serialized table bytes — two planes (or
+  two frames) carrying byte-identical tables share one
+  :class:`~repro.compress.huffman.HuffmanCode` instance, and therefore one
+  decode lookup table (the LUT itself is memoized on the instance).
+- **Quantization matrices** keyed by JPEG quality.
+- **Scratch buffers** keyed by ``(tag, shape, dtype)`` — reusable work arrays
+  for the entropy decoder so steady-state decoding allocates nothing large.
+
+Contexts are deliberately dumb: plain dicts with a size cap and hit/build
+counters (``stats``), safe to share across every codec of one connection.
+Sharing a context across *threads* decoding concurrently is not supported;
+give each decoding thread its own.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compress.base import CodecError
+
+__all__ = ["CodecContext"]
+
+
+class CodecContext:
+    """Reusable decode-side state shared across the frames of a stream.
+
+    Parameters
+    ----------
+    max_codes:
+        Cap on cached Huffman codes (FIFO eviction).  Each entry costs a
+        few KB (code arrays plus its memoized decode LUT).
+    max_buffers:
+        Cap on pooled scratch buffers.
+    """
+
+    def __init__(self, max_codes: int = 256, max_buffers: int = 32):
+        self.max_codes = max_codes
+        self.max_buffers = max_buffers
+        self._codes: dict[bytes, object] = {}
+        self._quant: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.stats = {
+            "huffman_code_builds": 0,
+            "huffman_code_hits": 0,
+            "quant_builds": 0,
+            "quant_hits": 0,
+            "buffer_allocs": 0,
+            "buffer_hits": 0,
+        }
+
+    # -- Huffman code tables ------------------------------------------------
+
+    def huffman_from_bytes(self, payload, offset: int = 0):
+        """Like :meth:`HuffmanCode.from_bytes`, but deduplicated.
+
+        Returns ``(code, offset_past_table)``.  Identical serialized tables
+        (the common case across the frames of a time series) resolve to one
+        shared, LUT-memoized instance.
+        """
+        from repro.compress.huffman import HuffmanCode
+
+        if len(payload) < offset + 4:
+            raise CodecError("huffman: truncated code table header")
+        (size,) = struct.unpack_from("<I", payload, offset)
+        if size > 65536:
+            raise CodecError("huffman: implausible code table size")
+        nbytes = (size * HuffmanCode._LEN_FIELD_BITS + 7) // 8
+        end = offset + 4 + nbytes
+        key = bytes(payload[offset:end])
+        code = self._codes.get(key)
+        if code is not None:
+            self.stats["huffman_code_hits"] += 1
+            return code, end
+        code, parsed_end = HuffmanCode.from_bytes(payload, offset)
+        if parsed_end != end:  # pragma: no cover - defensive
+            raise CodecError("huffman: inconsistent table length")
+        self.stats["huffman_code_builds"] += 1
+        if len(self._codes) >= self.max_codes:
+            self._codes.pop(next(iter(self._codes)))
+        self._codes[key] = code
+        return code, end
+
+    # -- quantization matrices ---------------------------------------------
+
+    def quant_tables(self, quality: int) -> tuple[np.ndarray, np.ndarray]:
+        """JPEG luma/chroma quantization matrices, cached per quality."""
+        tables = self._quant.get(quality)
+        if tables is not None:
+            self.stats["quant_hits"] += 1
+            return tables
+        from repro.compress.dct import quant_tables
+
+        tables = quant_tables(quality)
+        self.stats["quant_builds"] += 1
+        self._quant[quality] = tables
+        return tables
+
+    # -- scratch buffers ----------------------------------------------------
+
+    def scratch(self, tag: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable array for ``(tag, shape, dtype)``.
+
+        Contents are arbitrary on return — callers that need zeros must
+        ``fill(0)`` themselves.  The buffer stays owned by the context, so
+        callers must not hand it to user code; copy anything that outlives
+        the current decode call.
+        """
+        key = (tag, tuple(shape), np.dtype(dtype).str)
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self.stats["buffer_hits"] += 1
+            return buf
+        buf = np.empty(shape, dtype=dtype)
+        self.stats["buffer_allocs"] += 1
+        if len(self._buffers) >= self.max_buffers:
+            self._buffers.pop(next(iter(self._buffers)))
+        self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Drop every cached table and buffer (stats are kept)."""
+        self._codes.clear()
+        self._quant.clear()
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CodecContext codes={len(self._codes)} "
+            f"quant={len(self._quant)} buffers={len(self._buffers)}>"
+        )

@@ -2,7 +2,7 @@
 
 The 2-D type-II DCT over an 8×8 block factorizes into two matrix products
 with the 8×8 orthonormal DCT basis; batching blocks as an ``(n, 8, 8)``
-array turns the whole transform into two ``einsum`` contractions.
+array turns the whole transform into two broadcast ``matmul`` passes.
 """
 
 from __future__ import annotations
@@ -33,16 +33,19 @@ def _dct_basis(n: int = BLOCK) -> np.ndarray:
 
 
 _BASIS = _dct_basis()
+_BASIS_T = np.ascontiguousarray(_BASIS.T)
+#: k-point synthesis bases for the reduced-resolution inverse transform.
+_PARTIAL_BASIS = {kk: _dct_basis(kk) for kk in (2, 4)}
 
 
 def dct2_blocks(blocks: np.ndarray) -> np.ndarray:
     """Orthonormal 2-D DCT-II of an ``(n, 8, 8)`` batch."""
-    return np.einsum("ij,njk,lk->nil", _BASIS, blocks, _BASIS, optimize=True)
+    return _BASIS @ blocks @ _BASIS_T
 
 
 def idct2_blocks(coeffs: np.ndarray) -> np.ndarray:
     """Inverse of :func:`dct2_blocks`."""
-    return np.einsum("ji,njk,kl->nil", _BASIS, coeffs, _BASIS, optimize=True)
+    return _BASIS_T @ coeffs @ _BASIS
 
 
 def partial_idct_blocks(coeffs: np.ndarray, k: int) -> np.ndarray:
@@ -62,8 +65,8 @@ def partial_idct_blocks(coeffs: np.ndarray, k: int) -> np.ndarray:
     sub = np.ascontiguousarray(coeffs[:, :k, :k]) * (k / BLOCK)
     if k == 1:
         return sub  # one pixel per block: exactly the block mean
-    basis_k = _dct_basis(k)
-    return np.einsum("ji,njk,kl->nil", basis_k, sub, basis_k, optimize=True)
+    basis_k = _PARTIAL_BASIS[k]
+    return basis_k.T @ sub @ basis_k
 
 
 def blockize(plane: np.ndarray) -> tuple[np.ndarray, int, int]:

@@ -6,7 +6,24 @@ Used as the entropy-coding back end of both the BZIP pipeline
 Huffman algorithm with a frequency-flattening retry to enforce a maximum
 code length of :data:`MAX_BITS`, so the decoder can be a single
 ``2**MAX_BITS``-entry lookup table; encoding and table construction are
-vectorized, decoding walks one table lookup per symbol.
+vectorized.
+
+Two stream layouts exist:
+
+- the legacy layout (:func:`encode_symbols`/:func:`decode_symbols`): one
+  stream, decoded one table lookup per symbol in a Python loop;
+- the interleaved layout (:func:`encode_interleaved` /
+  :func:`decode_interleaved`): the symbol sequence is dealt round-robin
+  into ``K`` independent lanes, each entropy-coded separately and
+  byte-aligned into one blob.  The decoder advances all ``K`` lanes per
+  NumPy gather pass — the paper's per-sub-image parallel-decompression
+  trick (Figure 10) applied *inside* a single stream, cutting the Python
+  iteration count by ``K``.
+
+Decode lookup tables are memoized on the :class:`HuffmanCode` instance
+(built at most once per distinct code object; :data:`TABLE_BUILDS` counts
+builds for regression tests), and :class:`~repro.compress.context.
+CodecContext` deduplicates instances across frames by table bytes.
 """
 
 from __future__ import annotations
@@ -20,10 +37,26 @@ import numpy as np
 from repro.compress.base import CodecError
 from repro.compress.bitio import pack_values, sliding_code_windows, unpack_bits
 
-__all__ = ["HuffmanCode", "build_code", "encode_symbols", "decode_symbols"]
+__all__ = [
+    "HuffmanCode",
+    "build_code",
+    "encode_symbols",
+    "decode_symbols",
+    "encode_interleaved",
+    "decode_interleaved",
+]
 
 #: Longest permitted code, bounding decoder table size to 64 Ki entries.
 MAX_BITS = 16
+
+#: Default lane count for the interleaved layout (the per-lane byte
+#: alignment plus the 2-byte-per-lane header is noise beyond ~64 symbols
+#: per lane, and 128 lanes already amortize the Python loop to irrelevance).
+DEFAULT_LANES = 128
+
+#: Decode-table builds since import — regression tests assert memoization
+#: (one build per distinct table) against this counter.
+TABLE_BUILDS = 0
 
 
 def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -129,7 +162,37 @@ class HuffmanCode:
         return cls(lengths=lengths, codes=codes)
 
     def decode_tables(self) -> tuple[np.ndarray, np.ndarray, int]:
-        """``(symbol, length)`` lookup tables indexed by a peeked window."""
+        """``(symbol, length)`` lookup tables indexed by a peeked window.
+
+        Memoized: the tables are built once per code instance and reused
+        by every subsequent decode (the instance is immutable).  Combined
+        with :meth:`CodecContext.huffman_from_bytes` deduplication this
+        yields one build per *distinct* table across a whole time series.
+        """
+        cached = getattr(self, "_decode_tables_cache", None)
+        if cached is None:
+            cached = self._build_decode_tables()
+            object.__setattr__(self, "_decode_tables_cache", cached)
+        return cached
+
+    def packed_decode_table(self) -> tuple[np.ndarray, int]:
+        """``(symbol << 5 | length)`` per peeked window, plus the width.
+
+        Derived from :meth:`decode_tables` (and memoized the same way);
+        fusing both lookups into one ``uint32`` gather halves the table
+        reads in the interleaved decoder's lockstep loop.  Length fits in
+        5 bits (:data:`MAX_BITS` is 16); unused windows pack to 0.
+        """
+        cached = getattr(self, "_packed_table_cache", None)
+        if cached is None:
+            lut_sym, lut_len, width = self.decode_tables()
+            cached = ((lut_sym << np.uint32(5)) | lut_len, width)
+            object.__setattr__(self, "_packed_table_cache", cached)
+        return cached
+
+    def _build_decode_tables(self) -> tuple[np.ndarray, np.ndarray, int]:
+        global TABLE_BUILDS
+        TABLE_BUILDS += 1
         width = max(self.max_length, 1)
         lut_sym = np.zeros(1 << width, dtype=np.uint32)
         lut_len = np.zeros(1 << width, dtype=np.uint32)
@@ -200,3 +263,141 @@ def decode_symbols(
     if pos > limit:
         raise CodecError("huffman: bit stream overrun")
     return out
+
+
+# -- interleaved lanes --------------------------------------------------------
+
+
+def _lane_count(count: int, lanes: int | None) -> int:
+    if lanes is not None:
+        if not 1 <= lanes <= 255:
+            raise ValueError("lanes must be in 1..255")
+        return lanes
+    # one lane per ~8 symbols up to the default, so tiny streams don't pay
+    # per-lane header overhead for nothing
+    return max(1, min(DEFAULT_LANES, (count + 7) // 8))
+
+
+def encode_interleaved(
+    symbols: np.ndarray, code: HuffmanCode, lanes: int | None = None
+) -> bytes:
+    """Encode as a self-describing interleaved-lane blob.
+
+    Symbol ``i`` goes to lane ``i % K``; each lane is packed separately and
+    byte-aligned.  Layout::
+
+        u8 K | u8 S | K x uS lane_nbits | u32 body_len | lane payloads
+
+    where ``S`` (2 or 4) is the byte width of the per-lane bit counts —
+    short streams (every lane under 64 Kibit, i.e. all of JPEG's) pay 2
+    bytes per lane of header, only the huge BZIP block streams pay 4.
+    ``count`` is *not* stored — the caller's container knows it, exactly
+    as with :func:`encode_symbols`.
+    """
+    symbols = np.asarray(symbols)
+    n = symbols.size
+    k = _lane_count(n, lanes)
+    if n and (symbols.min() < 0 or symbols.max() >= code.alphabet_size):
+        raise ValueError("symbol out of alphabet range")
+    lens = code.lengths[symbols].astype(np.int64)
+    if n and not lens.all():
+        raise ValueError("symbol has no assigned code")
+    # Lane-major permutation (symbol i -> lane i % k), built by reading a
+    # padded (iters, k) grid column-wise.
+    n_iters = -(-n // k) if n else 0
+    grid = np.arange(n_iters * k).reshape(n_iters, k).T.reshape(-1)
+    perm = grid[grid < n]
+    lane_id = np.arange(n, dtype=np.int64) % k
+    lane_nbits = np.bincount(lane_id, weights=lens, minlength=k).astype(
+        np.int64
+    )
+    pads = (-lane_nbits) % 8
+    # One pack_values pass over all lanes: a zero-valued entry of the pad
+    # width after each lane's last symbol realizes the byte alignment.
+    lane_ends = np.cumsum(np.bincount(lane_id, minlength=k).astype(np.int64))
+    values = np.insert(code.codes[symbols][perm].astype(np.uint64), lane_ends, 0)
+    widths = np.insert(lens[perm], lane_ends, pads)
+    body, _ = pack_values(values, widths)
+    fmt = "H" if int(lane_nbits.max(initial=0)) < 1 << 16 else "I"
+    return (
+        struct.pack(f"<BB{k}{fmt}", k, struct.calcsize(fmt), *lane_nbits.tolist())
+        + struct.pack("<I", len(body))
+        + body
+    )
+
+
+def decode_interleaved(
+    payload, offset: int, count: int, code: HuffmanCode
+) -> tuple[np.ndarray, int]:
+    """Decode a blob written by :func:`encode_interleaved`.
+
+    Returns ``(symbols, offset_past_blob)``.  All lanes advance together:
+    each loop iteration performs one vectorized table gather for every
+    still-active lane, so the Python iteration count is
+    ``ceil(count / K)`` instead of ``count``.
+    """
+    if len(payload) < offset + 2:
+        raise CodecError("huffman: truncated interleave header")
+    k = payload[offset]
+    if k < 1:
+        raise CodecError("huffman: bad lane count")
+    entry = payload[offset + 1]
+    if entry not in (2, 4):
+        raise CodecError("huffman: bad lane header entry size")
+    head_end = offset + 2 + entry * k + 4
+    if len(payload) < head_end:
+        raise CodecError("huffman: truncated interleave header")
+    lane_nbits = np.frombuffer(
+        payload, dtype=f"<u{entry}", count=k, offset=offset + 2
+    ).astype(np.int64)
+    (body_len,) = struct.unpack_from("<I", payload, head_end - 4)
+    if len(payload) < head_end + body_len:
+        raise CodecError("huffman: truncated interleave body")
+    end = head_end + body_len
+
+    lane_bytes = (lane_nbits + 7) >> 3
+    if int(lane_bytes.sum()) != body_len:
+        raise CodecError("huffman: interleave body length mismatch")
+    if count == 0:
+        if int(lane_nbits.sum()) != 0:
+            raise CodecError("huffman: symbol count mismatch")
+        return np.zeros(0, dtype=np.uint32), end
+
+    body = np.frombuffer(payload, dtype=np.uint8, count=body_len, offset=head_end)
+    bits = np.unpackbits(body)
+    lut, width = code.packed_decode_table()
+    windows = sliding_code_windows(bits, width)
+    if windows.size == 0:
+        raise CodecError("huffman: bit stream exhausted")
+
+    lane_starts = 8 * np.concatenate(
+        [[0], np.cumsum(lane_bytes[:-1])]
+    ).astype(np.int64)
+    pos = lane_starts.copy()
+    ends = lane_starts + lane_nbits
+    # Translate every window through the packed LUT up front; the lockstep
+    # loop then gathers pre-decoded (symbol << 5 | length) entries straight
+    # into rows of ``ent``, advancing via the low bits — three kernel
+    # dispatches per iteration.  The loop body carries no validity checks:
+    # a corrupt lane either stalls (length-0 entry) or walks off its
+    # segment, and the ``take`` clamp plus the exact end-position equality
+    # test afterwards catches every such case.
+    lutw = lut[windows]
+    full = count // k
+    m = count - full * k
+    ent = np.empty((full + (1 if m else 0), k), dtype=np.uint32)
+    step = np.empty(k, dtype=np.uint32)
+    mask = np.uint32(31)
+    for i in range(full):
+        row = ent[i]
+        lutw.take(pos, mode="clip", out=row)
+        np.bitwise_and(row, mask, out=step)
+        pos += step
+    if m:
+        row = ent[full, :m]
+        lutw.take(pos[:m], mode="clip", out=row)
+        pos[:m] += row & mask
+    if (pos != ends).any():
+        raise CodecError("huffman: bit stream corrupt or truncated")
+    ent >>= np.uint32(5)
+    return ent.reshape(-1)[:count], end

@@ -8,8 +8,20 @@ zero-run coding with ZRL/EOB, canonical Huffman entropy coding with
 amplitude bits — in our own container format (it is not bit-compatible with
 ITU T.81; see DESIGN.md §7).
 
-Symbol generation and bit packing are vectorized over all blocks of a
-plane; only the entropy *decoder* walks token by token.
+Two stream versions share the container:
+
+- **v1** (legacy): DC/AC code words and amplitude bits interleaved in one
+  stream per plane; the decoder walks it token by token in Python.
+- **v2** (default): per plane, the DC size symbols and the AC run/size
+  symbols are entropy-coded as *interleaved Huffman lanes*
+  (:func:`repro.compress.huffman.encode_interleaved`) and the amplitude
+  bits ride in a third raw bit stream.  Amplitude bit-lengths are implied
+  by the decoded symbols, so after the lane decode the amplitudes, DC
+  prediction, zero-run expansion, and coefficient placement are all single
+  vectorized passes — no per-token Python loop anywhere on the decode path.
+
+Both versions decode to byte-identical images; the encoder picks the
+version via ``stream_version`` and the decoder dispatches on the header.
 """
 
 from __future__ import annotations
@@ -24,24 +36,30 @@ from repro.compress.color import (
     downsample_420,
     pad_to_multiple,
     rgb_to_ycbcr,
-    upsample_420,
-    ycbcr_to_rgb,
+    ycbcr_420_planes_to_rgb,
+    ycbcr_planes_to_rgb,
 )
+from repro.compress.context import CodecContext
 from repro.compress.dct import (
     BLOCK,
     blockize,
     dct2_blocks,
     partial_idct_blocks,
-    quant_tables,
     unblockize,
     zigzag_indices,
 )
-from repro.compress.huffman import HuffmanCode, build_code
+from repro.compress.huffman import (
+    HuffmanCode,
+    build_code,
+    decode_interleaved,
+    encode_interleaved,
+)
 
 __all__ = ["JPEGCodec"]
 
 _MAGIC = b"RJPG"
-_VERSION = 1
+_V1 = 1
+_V2 = 2
 _ZRL = 0xF0  # AC symbol: run of 16 zeros
 _EOB = 0x00  # AC symbol: end of block
 _WINDOW = 16  # decoder bit-peek width (>= max code length and amp size)
@@ -70,6 +88,54 @@ def _amplitude_decode(amp: int, size: int) -> int:
     if amp < (1 << (size - 1)):
         return amp - (1 << size) + 1
     return amp
+
+
+def _amplitude_decode_vec(amp: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_amplitude_decode` (``sizes == 0`` maps to 0)."""
+    amp = amp.astype(np.int64)
+    sizes = sizes.astype(np.int64)
+    half = np.left_shift(1, np.maximum(sizes, 1) - 1)
+    neg = amp < half
+    vals = np.where(neg, amp - np.left_shift(1, sizes) + 1, amp)
+    return np.where(sizes == 0, 0, vals)
+
+
+def _extract_amplitudes(
+    payload, nbits: int, sizes: np.ndarray
+) -> np.ndarray:
+    """Pull every variable-length amplitude field out of one raw bit stream.
+
+    ``sizes[i]`` bits per field, concatenated MSB-first — the inverse of
+    ``pack_values(amps, sizes)``.  Each field (at most 16 bits, so spanning
+    at most 3 bytes) is sliced out of a big-endian 32-bit word gathered at
+    its start byte — one vectorized pass over the tokens, never over the
+    individual bits.
+    """
+    sizes = sizes.astype(np.int64)
+    ends = np.cumsum(sizes)
+    total = int(ends[-1]) if sizes.size else 0
+    if total != nbits:
+        raise CodecError("jpeg: amplitude bit count mismatch")
+    if total == 0:
+        return np.zeros(sizes.size, dtype=np.int64)
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    if buf.size * 8 < nbits:
+        raise CodecError("jpeg: amplitude bit count exceeds payload")
+    padded = np.zeros(buf.size + 3, dtype=np.uint32)
+    padded[: buf.size] = buf
+    words = (
+        (padded[:-3] << np.uint32(24))
+        | (padded[1:-2] << np.uint32(16))
+        | (padded[2:-1] << np.uint32(8))
+        | padded[3:]
+    )
+    starts = ends - sizes
+    raw = words.take(starts >> 3, mode="clip")
+    raw >>= (np.uint32(32) - (starts & 7) - sizes).astype(np.uint32)
+    raw &= ((np.uint32(1) << sizes.astype(np.uint32)) - np.uint32(1)).astype(
+        np.uint32
+    )
+    return raw.astype(np.int64)
 
 
 class _PlaneTokens:
@@ -206,20 +272,42 @@ class JPEGCodec(Codec):
         inaccurate approximations to the required calculations" (§4.2).
         Output keeps the full image dimensions (nearest upsample), so a
         weak display client can cheaply keep up with the frame stream.
+    stream_version:
+        2 (default) = interleaved-lane entropy streams with the
+        vectorized decoder; 1 = the legacy per-token layout.  Both decode
+        regardless of this setting.
+    context:
+        A shared :class:`~repro.compress.context.CodecContext`; a private
+        one is created when omitted, so tables and scratch persist across
+        the frames decoded by this instance either way.
     """
 
     name = "jpeg"
     lossless = False
 
     def __init__(
-        self, quality: int = 75, subsample: bool = True, fast_decode: int = 0
+        self,
+        quality: int = 75,
+        subsample: bool = True,
+        fast_decode: int = 0,
+        stream_version: int = _V2,
+        context: CodecContext | None = None,
     ):
         if fast_decode not in (0, 1, 2, 3):
             raise ValueError("fast_decode must be 0, 1, 2, or 3")
+        if stream_version not in (_V1, _V2):
+            raise ValueError("stream_version must be 1 or 2")
         self.quality = quality
         self.subsample = subsample
         self.fast_decode = fast_decode
-        self._luma_q, self._chroma_q = quant_tables(quality)
+        self.stream_version = stream_version
+        self._ctx = context if context is not None else CodecContext()
+        self._luma_q, self._chroma_q = self._ctx.quant_tables(quality)
+
+    def use_context(self, context: CodecContext) -> None:
+        """Adopt a shared cross-codec context (e.g. one per connection)."""
+        self._ctx = context
+        self._luma_q, self._chroma_q = context.quant_tables(self.quality)
 
     @property
     def _idct_points(self) -> int:
@@ -266,7 +354,7 @@ class JPEGCodec(Codec):
             _MAGIC,
             struct.pack(
                 "<BIIBBB",
-                _VERSION,
+                self.stream_version,
                 h,
                 w,
                 1 if gray else 3,
@@ -288,13 +376,33 @@ class JPEGCodec(Codec):
         dc_freq, ac_freq = tokens.frequencies()
         dc_code = build_code(dc_freq)
         ac_code = build_code(ac_freq)
-        payload, nbits = tokens.pack(dc_code, ac_code)
+        if self.stream_version == _V1:
+            payload, nbits = tokens.pack(dc_code, ac_code)
+            parts = [
+                struct.pack("<IIQ", bh, bw, nbits),
+                dc_code.to_bytes(),
+                ac_code.to_bytes(),
+                struct.pack("<I", len(payload)),
+                payload,
+            ]
+            return b"".join(parts)
+        # v2: separate DC / AC symbol lane streams + one raw amplitude stream
+        is_dc = tokens.context == 0
+        dc_syms = tokens.symbol[is_dc]  # block order (DC leads each block)
+        ac_syms = tokens.symbol[~is_dc]  # stream order within/across blocks
+        amps = np.concatenate([tokens.amp[is_dc], tokens.amp[~is_dc]])
+        sizes = np.concatenate(
+            [tokens.amp_size[is_dc], tokens.amp_size[~is_dc]]
+        )
+        amp_payload, amp_nbits = pack_values(amps, sizes)
         parts = [
-            struct.pack("<IIQ", bh, bw, nbits),
+            struct.pack("<III", bh, bw, ac_syms.size),
             dc_code.to_bytes(),
             ac_code.to_bytes(),
-            struct.pack("<I", len(payload)),
-            payload,
+            encode_interleaved(dc_syms, dc_code),
+            encode_interleaved(ac_syms, ac_code),
+            struct.pack("<QI", amp_nbits, len(amp_payload)),
+            amp_payload,
         ]
         return b"".join(parts)
 
@@ -306,7 +414,7 @@ class JPEGCodec(Codec):
         version, h, w, channels, quality, subsample = struct.unpack_from(
             "<BIIBBB", payload, 4
         )
-        if version != _VERSION:
+        if version not in (_V1, _V2):
             raise CodecError(f"jpeg: unsupported version {version}")
         if not (1 <= h <= 65536 and 1 <= w <= 65536):
             raise CodecError(f"jpeg: implausible image dimensions {h}x{w}")
@@ -314,7 +422,7 @@ class JPEGCodec(Codec):
             raise CodecError(f"jpeg: bad channel count {channels}")
         if not 1 <= quality <= 100:
             raise CodecError(f"jpeg: bad quality field {quality}")
-        luma_q, chroma_q = quant_tables(quality)
+        luma_q, chroma_q = self._ctx.quant_tables(quality)
         offset = 4 + 12
         planes = []
         # a plane's block grid can never exceed the padded image grid
@@ -322,7 +430,7 @@ class JPEGCodec(Codec):
         qtables = [luma_q] + [chroma_q, chroma_q][: max(channels - 1, 0)]
         for qtable in qtables[:channels]:
             plane, offset = self._decode_plane(
-                payload, offset, qtable, max_blocks
+                payload, offset, qtable, max_blocks, version
             )
             planes.append(plane)
 
@@ -330,24 +438,27 @@ class JPEGCodec(Codec):
             return np.clip(np.rint(planes[0][:h, :w]), 0, 255).astype(np.uint8)
         y = planes[0][:h, :w]
         if subsample:
-            cb = upsample_420(planes[1], (h, w))
-            cr = upsample_420(planes[2], (h, w))
-        else:
-            cb = planes[1][:h, :w]
-            cr = planes[2][:h, :w]
-        return ycbcr_to_rgb(np.stack([y, cb, cr], axis=-1))
+            return ycbcr_420_planes_to_rgb(y, planes[1], planes[2])
+        return ycbcr_planes_to_rgb(y, planes[1][:h, :w], planes[2][:h, :w])
 
     def _decode_plane(
-        self, payload: bytes, offset: int, qtable: np.ndarray, max_blocks: int
+        self,
+        payload: bytes,
+        offset: int,
+        qtable: np.ndarray,
+        max_blocks: int,
+        version: int = _V1,
     ) -> tuple[np.ndarray, int]:
+        if version == _V2:
+            return self._decode_plane_v2(payload, offset, qtable, max_blocks)
         if offset + 16 > len(payload):
             raise CodecError("jpeg: truncated plane header")
         bh, bw, nbits = struct.unpack_from("<IIQ", payload, offset)
         offset += 16
         if bh < 1 or bw < 1 or bh * bw > max_blocks:
             raise CodecError(f"jpeg: implausible block grid {bh}x{bw}")
-        dc_code, offset = HuffmanCode.from_bytes(payload, offset)
-        ac_code, offset = HuffmanCode.from_bytes(payload, offset)
+        dc_code, offset = self._ctx.huffman_from_bytes(payload, offset)
+        ac_code, offset = self._ctx.huffman_from_bytes(payload, offset)
         if offset + 4 > len(payload):
             raise CodecError("jpeg: truncated plane payload length")
         (plen,) = struct.unpack_from("<I", payload, offset)
@@ -362,17 +473,113 @@ class JPEGCodec(Codec):
             payload[offset : offset + plen], int(nbits), nblocks, dc_code, ac_code
         )
         offset += plen
+        return self._plane_from_zz(zz, bh, bw, qtable), offset
+
+    def _plane_from_zz(
+        self, zz: np.ndarray, bh: int, bw: int, qtable: np.ndarray
+    ) -> np.ndarray:
         quant = zz[:, _UNZIGZAG].reshape(-1, BLOCK, BLOCK).astype(np.float32)
+        quant *= qtable
+        # the +128 level shift, folded into the DC coefficient (128 * 8 for
+        # the orthonormal 8-point basis; the k-point rescale preserves it)
+        quant[:, 0, 0] += 1024.0
+        return self._plane_from_blocks(quant, bh, bw)
+
+    def _plane_from_blocks(
+        self, quant: np.ndarray, bh: int, bw: int
+    ) -> np.ndarray:
+        """Inverse-transform dequantized ``(n, 8, 8)`` blocks to a plane."""
         k = self._idct_points
-        blocks = partial_idct_blocks(quant * qtable, k) + 128.0
+        blocks = partial_idct_blocks(quant, k)
         if k == BLOCK:
-            return unblockize(blocks, bh, bw), offset
+            return unblockize(blocks, bh, bw)
         reduced = (
             blocks.reshape(bh, bw, k, k).swapaxes(1, 2).reshape(bh * k, bw * k)
         )
         factor = BLOCK // k
-        full = np.repeat(np.repeat(reduced, factor, axis=0), factor, axis=1)
-        return full, offset
+        return np.repeat(np.repeat(reduced, factor, axis=0), factor, axis=1)
+
+    def _decode_plane_v2(
+        self, payload: bytes, offset: int, qtable: np.ndarray, max_blocks: int
+    ) -> tuple[np.ndarray, int]:
+        if offset + 12 > len(payload):
+            raise CodecError("jpeg: truncated plane header")
+        bh, bw, n_ac = struct.unpack_from("<III", payload, offset)
+        offset += 12
+        if bh < 1 or bw < 1 or bh * bw > max_blocks:
+            raise CodecError(f"jpeg: implausible block grid {bh}x{bw}")
+        nblocks = bh * bw
+        if n_ac < nblocks or n_ac > 65 * nblocks:
+            # every block carries at least an EOB and at most 64 tokens + EOB
+            raise CodecError("jpeg: implausible AC token count")
+        dc_code, offset = self._ctx.huffman_from_bytes(payload, offset)
+        ac_code, offset = self._ctx.huffman_from_bytes(payload, offset)
+        dc_syms, offset = decode_interleaved(payload, offset, nblocks, dc_code)
+        ac_syms, offset = decode_interleaved(payload, offset, n_ac, ac_code)
+        if offset + 12 > len(payload):
+            raise CodecError("jpeg: truncated amplitude header")
+        amp_nbits, amp_len = struct.unpack_from("<QI", payload, offset)
+        offset += 12
+        if offset + amp_len > len(payload):
+            raise CodecError("jpeg: truncated amplitude payload")
+        if amp_nbits > 8 * amp_len:
+            raise CodecError("jpeg: amplitude bit count exceeds payload")
+
+        dc_sizes = dc_syms.astype(np.int64)
+        if dc_sizes.size and dc_sizes.max() > _WINDOW:
+            raise CodecError("jpeg: DC size category out of range")
+        is_eob = ac_syms == _EOB
+        is_zrl = ac_syms == _ZRL
+        is_val = ~(is_eob | is_zrl)
+        ac_run = np.where(is_val, ac_syms >> 4, 0).astype(np.int64)
+        ac_sizes = np.where(is_val, ac_syms & 0xF, 0).astype(np.int64)
+
+        sizes = np.concatenate([dc_sizes, ac_sizes])
+        amps = _extract_amplitudes(
+            payload[offset : offset + amp_len], int(amp_nbits), sizes
+        )
+        offset += amp_len
+        vals = _amplitude_decode_vec(amps, sizes)
+
+        if int(is_eob.sum()) != nblocks or (n_ac and not is_eob[-1]):
+            raise CodecError("jpeg: block terminator count mismatch")
+        # block id of each AC token = EOBs seen so far (exclusive scan)
+        block_id = np.cumsum(is_eob) - is_eob
+        # zigzag advance per token; EOBs advance nothing
+        adv = np.where(is_zrl, 16, ac_run + 1)
+        adv[is_eob] = 0
+        cs = np.cumsum(adv)
+        excl = cs - adv
+        first = np.flatnonzero(
+            np.concatenate([[True], block_id[1:] != block_id[:-1]])
+        )
+        base = excl[first]  # every block has >= 1 token (its EOB)
+        rel = excl - base[block_id]
+        k = 1 + rel + ac_run
+        if is_zrl.any() and (1 + rel[is_zrl] + 16).max() > 63:
+            raise CodecError("jpeg: zero run past end of block")
+        if is_val.any() and k[is_val].max() > 63:
+            raise CodecError("jpeg: AC coefficient index overflow")
+        # Scatter dequantized coefficients straight into natural-order
+        # float32 blocks: only nonzero tokens are touched, so the unzigzag
+        # gather and the full-plane dequant multiply both disappear.
+        qflat = qtable.reshape(-1)
+        blocks = self._ctx.scratch("blocks", (nblocks, 64), np.float32)
+        blocks.fill(0.0)
+        dc = np.cumsum(vals[:nblocks]).astype(np.float32)
+        dc *= qflat[0]
+        # +128 level shift folded into the DC coefficient (128 * 8)
+        dc += 1024.0
+        blocks[:, 0] = dc
+        if is_val.any():
+            nat = _ZIGZAG[k[is_val]]
+            blocks.reshape(-1)[block_id[is_val] * 64 + nat] = (
+                vals[nblocks:][is_val].astype(np.float32) * qflat[nat]
+            )
+        plane = self._plane_from_blocks(
+            blocks.reshape(-1, BLOCK, BLOCK), bh, bw
+        )
+        return plane, offset
 
     @staticmethod
     def _entropy_decode(

@@ -25,6 +25,7 @@ import struct
 import numpy as np
 
 from repro.compress.base import CodecError, LosslessCodec, register_codec
+from repro.compress.scan import POPCOUNT, orbit_positions
 
 __all__ = ["LZOCodec"]
 
@@ -159,42 +160,86 @@ class LZOCodec(LosslessCodec):
     # -- decoding ----------------------------------------------------------
 
     def decode(self, payload: bytes) -> bytes:
+        """Vectorized decode.
+
+        The token stream parses without executing it: a flag byte fully
+        determines its group's size (``9 + 2 * popcount``), so pointer
+        doubling enumerates every group position, ``np.unpackbits`` expands
+        the flags, and all literals scatter into the output in one pass.
+        Only matches — which genuinely depend on earlier output — run in a
+        Python loop, and each is a NumPy slice copy, so the loop count is
+        the number of matches, not the number of bytes.
+        """
         if len(payload) < 8 or payload[:4] != _MAGIC:
             raise CodecError("lzo: bad or truncated header")
         (orig_len,) = struct.unpack_from("<I", payload, 4)
-        out = bytearray()
-        i = 8
-        n = len(payload)
-        while len(out) < orig_len:
-            if i >= n:
-                raise CodecError("lzo: truncated stream")
-            flags = payload[i]
-            i += 1
-            for bit in range(7, -1, -1):
-                if len(out) >= orig_len:
-                    break
-                if flags & (1 << bit):
-                    if i + 3 > n:
-                        raise CodecError("lzo: truncated match")
-                    dist, lx = struct.unpack_from("<HB", payload, i)
-                    i += 3
-                    length = lx + _MIN_MATCH
-                    src = len(out) - dist
-                    if src < 0 or dist == 0:
-                        raise CodecError("lzo: match distance out of range")
-                    if dist >= length:
-                        out += out[src : src + length]
-                    else:  # overlapping copy: replicate the window
-                        window = out[src:]
-                        reps = -(-length // dist)
-                        out += (bytes(window) * reps)[:length]
-                else:
-                    if i >= n:
-                        raise CodecError("lzo: truncated literal")
-                    out.append(payload[i])
-                    i += 1
-        if len(out) != orig_len:
+        if orig_len == 0:
+            return b""
+        buf = np.frombuffer(payload, dtype=np.uint8)
+        body = buf[8:]
+        limit = body.size
+        if limit == 0:
+            raise CodecError("lzo: truncated stream")
+        jump = (
+            np.arange(limit, dtype=np.int64)
+            + 9
+            + 2 * POPCOUNT[body[:limit]]
+        )
+        gpos = orbit_positions(jump, limit)
+        # Per-item geometry, groups laid out as if all were full (the final
+        # group may be partial; its phantom items are trimmed below).
+        is_match = np.unpackbits(body[gpos]).reshape(-1, 8).astype(bool)
+        isize = np.where(is_match, 3, 1)
+        ipos = (
+            gpos[:, None] + np.cumsum(isize, axis=1) - isize + 1
+        ).reshape(-1)
+        is_match = is_match.reshape(-1)
+        isize = isize.reshape(-1)
+        inside = ipos + isize <= limit
+        out_len = np.where(is_match, 0, 1)
+        m_in = is_match & inside
+        out_len[m_in] = body[ipos[m_in] + 2].astype(np.int64) + _MIN_MATCH
+        # An item is consumed iff output is still short when it starts.
+        starts = np.cumsum(out_len) - out_len
+        needed = starts < orig_len
+        if (needed & ~inside).any():
+            first = int(np.flatnonzero(needed & ~inside)[0])
+            raise CodecError(
+                "lzo: truncated match" if is_match[first] else "lzo: truncated literal"
+            )
+        produced = int(out_len[needed].sum()) if needed.any() else 0
+        if produced < orig_len:
+            raise CodecError("lzo: truncated stream")
+        if produced > orig_len:
             raise CodecError("lzo: length mismatch after decode")
+        ipos = ipos[needed]
+        is_match = is_match[needed]
+        starts = starts[needed]
+        out_len = out_len[needed]
+        scatter = np.zeros(orig_len, dtype=np.uint8)
+        scatter[starts[~is_match]] = body[ipos[~is_match]]
+        m_pos = ipos[is_match]
+        m_start = starts[is_match]
+        dist = body[m_pos].astype(np.int64) | (
+            body[m_pos + 1].astype(np.int64) << 8
+        )
+        if (dist == 0).any() or (m_start - dist < 0).any():
+            raise CodecError("lzo: match distance out of range")
+        # Matches genuinely depend on earlier output, so they run in
+        # stream order — but as C-speed bytearray slice copies, one per
+        # match, never per byte.
+        out = bytearray(scatter)
+        for s, d, ln in zip(
+            m_start.tolist(),
+            (m_start - dist).tolist(),
+            out_len[is_match].tolist(),
+        ):
+            if s - d >= ln:
+                out[s : s + ln] = out[d : d + ln]
+            else:  # overlapping copy: replicate the window
+                window = bytes(out[d:s])
+                reps = -(-ln // len(window))
+                out[s : s + ln] = (window * reps)[:ln]
         return bytes(out)
 
 

@@ -2,12 +2,18 @@
 
 After the Burrows–Wheeler sort, equal context bytes cluster, so MTF turns
 the block into a stream dominated by small values (mostly zeros), which the
-zero-run + Huffman back end then squeezes.  MTF is an inherently sequential
-recurrence over the alphabet list, so both directions are tight Python
-loops over C-backed lists.
+zero-run + Huffman back end then squeezes.  The recurrence is inherently
+sequential *per distinct value*, but not per byte: inside a run of equal
+bytes every byte after the first maps to index 0 (forward) and every zero
+index repeats the current front byte (inverse).  Both directions therefore
+iterate only over run boundaries — a tiny fraction of the stream on BWT
+output — and fill the runs with NumPy batch operations, with the alphabet
+kept as a ``bytearray`` so the lookup/move inside the loop is C-speed.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.compress.base import CodecError
 
@@ -16,28 +22,51 @@ __all__ = ["mtf_forward", "mtf_inverse"]
 
 def mtf_forward(data: bytes) -> bytes:
     """Replace each byte with its index in a move-to-front alphabet list."""
-    alphabet = list(range(256))
-    out = bytearray(len(data))
+    n = len(data)
+    if n == 0:
+        return b""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    # run starts: only these produce a nonzero index; the rest are zeros
+    starts = np.concatenate(
+        ([0], np.flatnonzero(arr[1:] != arr[:-1]) + 1)
+    )
+    out = np.zeros(n, dtype=np.uint8)
+    alphabet = bytearray(range(256))
     index = alphabet.index
-    for i, b in enumerate(data):
+    insert = alphabet.insert
+    indices = np.empty(starts.size, dtype=np.uint8)
+    for i, b in enumerate(arr[starts].tolist()):
         j = index(b)
-        out[i] = j
+        indices[i] = j
         if j:
             del alphabet[j]
-            alphabet.insert(0, b)
-    return bytes(out)
+            insert(0, b)
+    out[starts] = indices
+    return out.tobytes()
 
 
 def mtf_inverse(data: bytes) -> bytes:
     """Invert :func:`mtf_forward`."""
-    alphabet = list(range(256))
-    out = bytearray(len(data))
-    for i, j in enumerate(data):
-        if j >= len(alphabet):
+    n = len(data)
+    if n == 0:
+        return b""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    # zero indices repeat the current front byte; only nonzero indices
+    # move the alphabet, so loop over those alone
+    nz = np.flatnonzero(arr)
+    alphabet = bytearray(range(256))
+    insert = alphabet.insert
+    vals = np.empty(nz.size, dtype=np.uint8)
+    for i, j in enumerate(arr[nz].tolist()):
+        if j >= len(alphabet):  # pragma: no cover - alphabet is always 256
             raise CodecError("mtf: index out of alphabet range")
         b = alphabet[j]
-        out[i] = b
-        if j:
-            del alphabet[j]
-            alphabet.insert(0, b)
-    return bytes(out)
+        vals[i] = b
+        del alphabet[j]
+        insert(0, b)
+    # segment fill: [0, nz[0]) is the initial front byte 0; [nz[i], nz[i+1])
+    # is vals[i]
+    seg_starts = np.concatenate(([0], nz))
+    seg_vals = np.concatenate(([0], vals))
+    seg_lens = np.diff(np.concatenate((seg_starts, [n])))
+    return np.repeat(seg_vals, seg_lens).astype(np.uint8).tobytes()

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.compress.base import Codec, LosslessCodec, register_codec
 from repro.compress.bzip import BZIPCodec
+from repro.compress.context import CodecContext
 from repro.compress.jpeg import JPEGCodec
 from repro.compress.lzo import LZOCodec
 
@@ -24,16 +25,33 @@ class TwoPhaseCodec(Codec):
     """A lossy first stage whose payload is re-compressed losslessly.
 
     The registry exposes the paper's two combinations as ``"jpeg+lzo"``
-    and ``"jpeg+bzip"``; arbitrary stages can be composed directly.
+    and ``"jpeg+bzip"``; arbitrary stages can be composed directly.  A
+    shared :class:`~repro.compress.context.CodecContext` (given at
+    construction or via :meth:`use_context`) is threaded through to every
+    stage that supports one, so both phases reuse the same cached Huffman
+    tables and scratch buffers across frames.
     """
 
-    def __init__(self, first: Codec, second: LosslessCodec):
+    def __init__(
+        self,
+        first: Codec,
+        second: LosslessCodec,
+        context: CodecContext | None = None,
+    ):
         if not second.lossless:
             raise ValueError("second stage must be lossless")
         self.first = first
         self.second = second
         self.name = f"{first.name}+{second.name}"
         self.lossless = first.lossless
+        if context is not None:
+            self.use_context(context)
+
+    def use_context(self, context: CodecContext) -> None:
+        """Share one codec context across both stages."""
+        for stage in (self.first, self.second):
+            if hasattr(stage, "use_context"):
+                stage.use_context(context)
 
     def encode(self, data: bytes) -> bytes:
         return self.second.encode(self.first.encode(data))
@@ -48,13 +66,27 @@ class TwoPhaseCodec(Codec):
         return self.first.decode_image(self.second.decode(payload))
 
 
-def _jpeg_lzo(quality: int = 75, level: int = 1, **kw) -> TwoPhaseCodec:
-    return TwoPhaseCodec(JPEGCodec(quality=quality, **kw), LZOCodec(level=level))
-
-
-def _jpeg_bzip(quality: int = 75, block_size: int = 512 * 1024, **kw) -> TwoPhaseCodec:
+def _jpeg_lzo(
+    quality: int = 75,
+    level: int = 1,
+    context: CodecContext | None = None,
+    **kw,
+) -> TwoPhaseCodec:
     return TwoPhaseCodec(
-        JPEGCodec(quality=quality, **kw), BZIPCodec(block_size=block_size)
+        JPEGCodec(quality=quality, **kw), LZOCodec(level=level), context=context
+    )
+
+
+def _jpeg_bzip(
+    quality: int = 75,
+    block_size: int = 512 * 1024,
+    context: CodecContext | None = None,
+    **kw,
+) -> TwoPhaseCodec:
+    return TwoPhaseCodec(
+        JPEGCodec(quality=quality, **kw),
+        BZIPCodec(block_size=block_size),
+        context=context,
     )
 
 

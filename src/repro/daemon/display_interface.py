@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from repro.compress import Codec, get_codec
+from repro.compress.context import CodecContext
 from repro.daemon.display_daemon import DisplayDaemon
 from repro.daemon.protocol import ControlMessage, FrameMessage, decode_message
 from repro.net.transport import ChannelClosed, FramedConnection
@@ -79,10 +80,17 @@ class DisplayInterface:
         self._codecs: dict[str, Codec] = {}
         self._pending: dict[int, dict[int, FrameMessage]] = {}
         self._lock = threading.Lock()
+        # One context for the whole connection: Huffman decode tables,
+        # quantization matrices, and scratch buffers persist across frames
+        # and are shared by every codec this interface instantiates.
+        self.codec_context = CodecContext()
 
     def _decoder(self, name: str) -> Codec:
         if name not in self._codecs:
-            self._codecs[name] = get_codec(name)
+            codec = get_codec(name)
+            if hasattr(codec, "use_context"):
+                codec.use_context(self.codec_context)
+            self._codecs[name] = codec
         return self._codecs[name]
 
     # -- receiving ------------------------------------------------------------
@@ -93,7 +101,12 @@ class DisplayInterface:
             ready = self._pop_ready()
             if ready is not None:
                 return self._decode(ready)
-            msg = decode_message(self.conn.recv(timeout=timeout))
+            # Zero-copy: the frame's compressed payload stays a memoryview
+            # into the received buffer all the way into the codec, which
+            # reads it via np.frombuffer without duplicating it.
+            msg = decode_message(
+                memoryview(self.conn.recv(timeout=timeout)), copy=False
+            )
             if isinstance(msg, FrameMessage):
                 with self._lock:
                     self._pending.setdefault(msg.frame_id, {})[

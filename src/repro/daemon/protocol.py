@@ -54,7 +54,7 @@ class Message:
             _MAGIC
             + struct.pack("<BI", self._kind(), len(header))
             + header
-            + self._payload()
+            + bytes(self._payload())
         )
 
 
@@ -65,12 +65,15 @@ class FrameMessage(Message):
     ``piece_index``/``n_pieces`` implement parallel compression: each
     compute node ships the strip it composited (``row_range`` rows of the
     full frame); ``n_pieces == 1`` is the assembled-image mode.
+
+    ``payload`` is ``bytes`` normally, or a zero-copy ``memoryview`` into
+    the transport frame when decoded with ``decode_message(..., copy=False)``.
     """
 
     frame_id: int
     time_step: int
     codec: str
-    payload: bytes
+    payload: bytes | memoryview
     piece_index: int = 0
     n_pieces: int = 1
     row_range: tuple[int, int] | None = None
@@ -127,18 +130,28 @@ class HelloMessage(Message):
         return {"role": self.role, "name": self.name}
 
 
-def decode_message(frame: bytes) -> Message:
-    """Parse one transport frame back into a message object."""
-    if len(frame) < 9 or frame[:4] != _MAGIC:
+def decode_message(frame: bytes | memoryview, *, copy: bool = True) -> Message:
+    """Parse one transport frame back into a message object.
+
+    With ``copy=False`` the bulk payload of a :class:`FrameMessage` is
+    returned as a ``memoryview`` into ``frame`` instead of a copied
+    ``bytes`` — the decode fast path hands that view straight to
+    ``np.frombuffer`` without ever duplicating the compressed image.  The
+    caller must then keep ``frame`` alive (and unmutated) for as long as
+    the message's payload is in use.
+    """
+    if len(frame) < 9 or bytes(frame[:4]) != _MAGIC:
         raise ProtocolError("bad message magic")
     kind, hlen = struct.unpack_from("<BI", frame, 4)
     if len(frame) < 9 + hlen:
         raise ProtocolError("truncated message header")
     try:
-        header = json.loads(frame[9 : 9 + hlen].decode())
+        header = json.loads(bytes(frame[9 : 9 + hlen]).decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad message header: {exc}") from exc
     payload = frame[9 + hlen :]
+    if copy or not isinstance(frame, memoryview):
+        payload = bytes(payload)
     if kind == _KIND_FRAME:
         return FrameMessage(
             frame_id=header["frame_id"],

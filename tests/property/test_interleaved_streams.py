@@ -1,0 +1,145 @@
+"""Interleaved entropy streams: round-trip properties and format freezes.
+
+Two guarantees are pinned here.  First, the interleaved-lane Huffman blob
+(``encode_interleaved``/``decode_interleaved``) inverts for any symbol
+stream and any legal lane count.  Second, the *legacy* v1 containers stay
+decodable forever: golden byte strings captured from a v1 encoder must
+keep producing their known outputs, so a new display daemon can always
+drain a stream produced by an old renderer.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compress import get_codec
+from repro.compress.base import CodecError
+from repro.compress.huffman import (
+    build_code,
+    decode_interleaved,
+    encode_interleaved,
+)
+
+# Skewed frequencies exercise long and short code words in one table.
+symbol_streams = st.lists(
+    st.integers(0, 40).map(lambda v: v * v % 97), min_size=0, max_size=3000
+)
+
+
+def _code_for(symbols, alphabet=97):
+    freqs = np.bincount(
+        np.asarray(symbols + [0], dtype=np.int64), minlength=alphabet
+    )
+    return build_code(freqs)
+
+
+class TestInterleavedRoundtrip:
+    @given(symbols=symbol_streams)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_roundtrip_default_lanes(self, symbols):
+        code = _code_for(symbols)
+        arr = np.asarray(symbols, dtype=np.uint32)
+        blob = encode_interleaved(arr, code)
+        out, end = decode_interleaved(blob, 0, arr.size, code)
+        assert end == len(blob)
+        assert np.array_equal(out, arr)
+
+    @given(
+        symbols=symbol_streams,
+        lanes=st.one_of(st.integers(1, 8), st.sampled_from([16, 64, 255])),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_roundtrip_explicit_lanes(self, symbols, lanes):
+        code = _code_for(symbols)
+        arr = np.asarray(symbols, dtype=np.uint32)
+        blob = encode_interleaved(arr, code, lanes=lanes)
+        out, end = decode_interleaved(blob, 0, arr.size, code)
+        assert end == len(blob)
+        assert np.array_equal(out, arr)
+
+    @given(symbols=st.lists(st.integers(0, 5), min_size=8, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_truncation_always_detected(self, symbols):
+        code = _code_for(symbols, alphabet=6)
+        arr = np.asarray(symbols, dtype=np.uint32)
+        blob = encode_interleaved(arr, code)
+        with pytest.raises(CodecError):
+            decode_interleaved(blob[:-1], 0, arr.size, code)
+
+    @given(data=st.binary(min_size=0, max_size=1500))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bzip_v1_v2_cross_decode(self, data):
+        v1 = get_codec("bzip", stream_version=1)
+        v2 = get_codec("bzip", stream_version=2)
+        assert v2.decode(v1.encode(data)) == data
+        assert v1.decode(v2.encode(data)) == data
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_jpeg_v1_v2_decode_identically(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, (24, 24, 3), dtype=np.uint8)
+        p1 = get_codec("jpeg", stream_version=1).encode_image(img)
+        p2 = get_codec("jpeg", stream_version=2).encode_image(img)
+        dec = get_codec("jpeg")
+        assert np.array_equal(dec.decode_image(p1), dec.decode_image(p2))
+
+
+class TestLegacyGoldenBytes:
+    """Byte strings captured from the v1 encoders.  If these stop decoding,
+    newly deployed peers have broken compatibility with live old ones."""
+
+    # bzip stream_version=1 ("RBZP") container of _golden_data()
+    BZIP_V1 = bytes.fromhex(
+        "52425a501c02000000000800210200001d020000710000003901000002010000"
+        "104c601ca5398c6300e00000000000000000000001c000000000000000000000"
+        "0000000000000000000000000000000000000000000000000000000000000000"
+        "00380e0380070180000000000000000038000000000000000000000000000000"
+        "0000000000000000000000000000000000000000000000000000000000000000"
+        "0000000000000000000000000000000000000000000000000000000000000000"
+        "01c028000000fd82649dc9b51b931c49c936a372704e46742ebed4bd54ba4b18"
+        "d55621e7457ba97ca976f19d7f80"
+    )
+
+    @staticmethod
+    def _golden_data():
+        return (
+            bytes((np.arange(300) * 7 % 11).astype(np.uint8)) + b"golden" * 40
+        )
+
+    def test_bzip_v1_golden_decodes(self):
+        assert self.BZIP_V1.startswith(b"RBZP")
+        assert get_codec("bzip").decode(self.BZIP_V1) == self._golden_data()
+
+    def test_v1_reencode_matches_golden(self):
+        """The v1 encoder is still frozen too (old peers must also be able
+        to decode what a back-level-configured new peer emits)."""
+        enc = get_codec("bzip", stream_version=1).encode(self._golden_data())
+        assert enc == self.BZIP_V1
+
+    def test_jpeg_v1_golden_decodes(self):
+        yy, xx = np.mgrid[0:16, 0:16]
+        img = np.clip(
+            np.stack([xx * 16, yy * 16, (xx + yy) * 8], axis=-1), 0, 255
+        ).astype(np.uint8)
+        p1 = get_codec("jpeg", stream_version=1, quality=50).encode_image(img)
+        out = get_codec("jpeg").decode_image(p1)
+        assert out.shape == (16, 16, 3)
+        assert hashlib.sha256(out.tobytes()).hexdigest() == (
+            "4552cb709b33c3767b7cf7bc89677689bf7bcef47b05bce547ae9f2369e22e7a"
+        )

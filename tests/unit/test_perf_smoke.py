@@ -1,0 +1,51 @@
+"""Decode-throughput smoke floors (``make bench-smoke``).
+
+These run inside the normal unit suite but are additionally selectable with
+``-m perf_smoke`` for a seconds-long guardrail.  The floors are set an
+order of magnitude below what the vectorized decoders actually deliver, so
+they only trip on a real fast-path regression (e.g. a per-symbol Python
+loop sneaking back in), never on machine noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec
+
+pytestmark = pytest.mark.perf_smoke
+
+# (codec, decode-MB/s floor) — raw-image megabytes per decode second,
+# set ~3-10x below what this frame actually measures on a laptop-class
+# core so only structural regressions trip them.
+FLOORS = [
+    ("jpeg", 6.0),
+    ("jpeg+lzo", 5.0),
+    ("rle", 80.0),
+    ("lzo", 4.0),
+]
+
+
+def _frame(size=192):
+    yy, xx = np.mgrid[0:size, 0:size]
+    r = np.sin(xx / 9.0) * np.cos(yy / 13.0) * 127 + 128
+    g = (xx * 255) // size
+    b = ((xx + yy) * 255) // (2 * size)
+    return np.clip(np.stack([r, g, b], axis=-1), 0, 255).astype(np.uint8)
+
+
+@pytest.mark.parametrize("name,floor", FLOORS, ids=[f[0] for f in FLOORS])
+def test_decode_throughput_floor(name, floor):
+    img = _frame()
+    codec = get_codec(name)
+    enc = codec.encode_image(img)
+    codec.decode_image(enc)  # warm caches/LUTs outside the timed window
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        out = codec.decode_image(enc)
+        best = min(best, time.perf_counter() - t0)
+    assert out.shape == img.shape
+    mbps = img.nbytes / best / 1e6
+    assert mbps >= floor, f"{name}: {mbps:.1f} MB/s below {floor} MB/s floor"
