@@ -1,0 +1,127 @@
+"""Serving-layer fan-out: delivered frames/sec vs. viewer count.
+
+The north-star workload is many viewers on one rendered stream.  This
+bench publishes one synthetic animated sequence through the
+:class:`~repro.serve.broker.SessionBroker` to 1/4/16/64 concurrent
+decoding viewers and records delivered-frames/sec for a *cold* cache
+(every (frame, tier) encoded once) and a *warm* cache (the same frame
+ids republished, pure cache hits).  The spread between passes is the
+encode work the shared cache removes; the per-count encode totals show
+encode work is independent of viewer count.
+
+Run under pytest (quick sanity rows) or as a script for the tracked
+machine-readable trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_serve_fanout.py --json
+
+writes/updates ``BENCH_serve.json`` at the repo root under ``--label``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _util import emit, fast_mode, fmt_row  # noqa: E402
+
+from repro.serve.fanout import run_fanout, synthetic_frames  # noqa: E402
+
+VIEWER_COUNTS = (1, 4, 16, 64)
+
+
+def _counts():
+    return VIEWER_COUNTS[:3] if fast_mode() else VIEWER_COUNTS
+
+
+@pytest.mark.parametrize("n_viewers", (1, 4))
+def test_fanout_delivers_everything(benchmark, n_viewers):
+    """Small-scale correctness under the benchmark harness: every viewer
+    gets every frame when nobody is slow."""
+    frames = synthetic_frames(16, size=64)
+    result = benchmark.pedantic(
+        run_fanout, args=(n_viewers, frames), kwargs={"credit_limit": 32},
+        rounds=1, iterations=1,
+    )
+    assert result["cold"]["delivered_frames"] == n_viewers * len(frames)
+    assert result["cold"]["encodes"] == len(frames)
+
+
+def test_fanout_sweep_table():
+    """The full sweep as a persisted artifact table."""
+    frames = synthetic_frames(16, size=64)
+    lines = [fmt_row("viewers", ["cold fps", "warm fps", "encodes", "hit%"])]
+    for n in _counts():
+        r = run_fanout(n, frames, credit_limit=32)
+        lines.append(
+            fmt_row(
+                str(n),
+                [
+                    r["cold"]["delivered_fps"],
+                    r["warm"]["delivered_fps"],
+                    r["cold"]["encodes"] + r["warm"]["encodes"],
+                    100.0 * r["warm"]["cache_hit_ratio"],
+                ],
+            )
+        )
+    emit("serve_fanout", lines)
+
+
+# -- machine-readable mode (perf trajectory across PRs) -----------------------
+
+
+def measure_sweep(n_frames: int = 32, size: int = 96) -> dict:
+    frames = synthetic_frames(n_frames, size=size)
+    rows = {}
+    for n in VIEWER_COUNTS:
+        r = run_fanout(n, frames, credit_limit=32)
+        rows[str(n)] = {
+            "cold_fps": round(r["cold"]["delivered_fps"], 1),
+            "warm_fps": round(r["warm"]["delivered_fps"], 1),
+            "cold_encodes": r["cold"]["encodes"],
+            "warm_encodes": r["warm"]["encodes"],
+            "warm_hit_ratio": round(r["warm"]["cache_hit_ratio"], 4),
+            "dropped": r["dropped_frames"],
+            "transitions": r["tier_transitions"],
+        }
+    return {"n_frames": n_frames, "image_size": size, "viewers": rows}
+
+
+def write_json(path, label: str, n_frames: int, size: int) -> dict:
+    import json
+
+    path = Path(path)
+    doc = {}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc[label] = measure_sweep(n_frames=n_frames, size=size)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    repo_root = Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", action="store_true", help="write BENCH_serve.json")
+    ap.add_argument("--out", default=str(repo_root / "BENCH_serve.json"))
+    ap.add_argument("--label", default="current")
+    ap.add_argument("--frames", type=int, default=32)
+    ap.add_argument("--size", type=int, default=96)
+    args = ap.parse_args(argv)
+    if not args.json:
+        ap.error("nothing to do: pass --json")
+    doc = write_json(args.out, args.label, args.frames, args.size)
+    for n, row in sorted(doc[args.label]["viewers"].items(), key=lambda kv: int(kv[0])):
+        print(
+            f"{n:>3} viewers: cold {row['cold_fps']:>8.1f} f/s  "
+            f"warm {row['warm_fps']:>8.1f} f/s  "
+            f"encodes {row['cold_encodes']}+{row['warm_encodes']}  "
+            f"warm hit {row['warm_hit_ratio'] * 100:.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,8 @@ Commands mirror the workflows a user of the paper's system would run:
 - ``animate``   a remote session over a step range (frames to a directory);
 - ``partition`` sweep the processor grouping L (Figure 6/7 workflow);
 - ``codecs``    compare codecs on a rendered frame (Table 1 workflow);
-- ``simulate``  one pipeline configuration on a modeled machine.
+- ``simulate``  one pipeline configuration on a modeled machine;
+- ``serve``     fan one rendered sequence out to N adaptive viewers.
 """
 
 from __future__ import annotations
@@ -120,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--route", default="nasa-ucd")
     p.add_argument("--target-fps", type=float, default=5.0)
     p.set_defaults(func=cmd_autotune)
+
+    p = sub.add_parser(
+        "serve",
+        help="fan a frame sequence out to N viewers through the session broker",
+    )
+    add_dataset_args(p)
+    p.add_argument("--viewers", type=int, default=8)
+    p.add_argument("--frames", type=int, default=32)
+    p.add_argument("--slow", type=int, default=0,
+                   help="of the viewers, how many never drain (stress the "
+                        "adaptive tier controller)")
+    p.add_argument("--credits", type=int, default=8,
+                   help="per-viewer delivery credits before drops begin")
+    p.add_argument("--synthetic", action="store_true",
+                   help="use synthetic frames instead of rendering the dataset")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 
@@ -272,6 +289,66 @@ def cmd_autotune(args) -> int:
           f"quality={cfg.quality}")
     print(f"predicted      : {cfg.predicted_fps:.2f} fps "
           f"(startup {cfg.predicted_startup_s:.2f}s) -> {verdict} the target")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import threading
+    import time
+
+    from repro.serve import SessionBroker
+    from repro.serve.fanout import synthetic_frames
+
+    if args.synthetic:
+        frames = synthetic_frames(args.frames, size=args.size)
+    else:
+        dataset = get_dataset(args.dataset, scale=args.scale,
+                              n_steps=args.frames)
+        cam = Camera(
+            image_size=(args.size, args.size),
+            azimuth=args.azimuth,
+            elevation=args.elevation,
+        )
+        tf = _default_tf(args)
+        frames = [
+            to_display_rgb(render_volume(dataset.volume(t), tf, cam))
+            for t in range(min(args.frames, dataset.n_steps))
+        ]
+    n_slow = min(args.slow, args.viewers)
+    with SessionBroker(credit_limit=args.credits) as broker:
+        fast = [broker.join(f"fast{i}") for i in range(args.viewers - n_slow)]
+        slow = [broker.join(f"slow{i}") for i in range(n_slow)]
+        stop = threading.Event()
+
+        def drain(handle):
+            while not stop.is_set():
+                try:
+                    handle.next_frame(timeout=0.2)
+                except TimeoutError:
+                    continue
+                except ConnectionError:
+                    return
+
+        threads = [
+            threading.Thread(target=drain, args=(h,), daemon=True) for h in fast
+        ]
+        for t in threads:
+            t.start()
+        t0 = time.perf_counter()
+        for step, image in enumerate(frames):
+            broker.publish(image, time_step=step, frame_id=step)
+        broker.drain(timeout=10.0, names=[h.name for h in fast])
+        elapsed = time.perf_counter() - t0
+        stats = broker.stats()
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        for h in fast + slow:
+            h.leave()
+    print(stats.summary())
+    print(f"delivered {stats.total_frames_sent} frames "
+          f"({stats.total_bytes_sent} B) in {elapsed:.2f}s; "
+          f"{stats.total_transitions} tier transitions")
     return 0
 
 

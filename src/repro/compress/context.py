@@ -132,6 +132,26 @@ class CodecContext:
         self._buffers[key] = buf
         return buf
 
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache across all three caches.
+
+        1.0 means steady state (no table was rebuilt, no buffer
+        reallocated); 0.0 on a fresh context.  The serving layer exports
+        this per viewer session via ``ServeStats``.
+        """
+        hits = (
+            self.stats["huffman_code_hits"]
+            + self.stats["quant_hits"]
+            + self.stats["buffer_hits"]
+        )
+        builds = (
+            self.stats["huffman_code_builds"]
+            + self.stats["quant_builds"]
+            + self.stats["buffer_allocs"]
+        )
+        total = hits + builds
+        return hits / total if total else 0.0
+
     def clear(self) -> None:
         """Drop every cached table and buffer (stats are kept)."""
         self._codes.clear()

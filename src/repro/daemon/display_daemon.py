@@ -8,12 +8,18 @@ viewer current — the behaviour an interactive system wants over a slow
 WAN.  Control messages from displays fan out to every renderer connection
 (the "remote callback" path), and the daemon itself answers
 ``set_codec``/``start_renderer`` tags by forwarding them, per §4.1.
+
+How a renderer frame reaches the display buffers is a pluggable
+:class:`DeliveryPolicy`; the default broadcasts every piece to every
+display, and :mod:`repro.serve` layers session-aware adaptive delivery
+on the same hook.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import Iterable
 
 from repro.daemon.protocol import (
     ControlMessage,
@@ -24,7 +30,30 @@ from repro.daemon.protocol import (
 )
 from repro.net.transport import ChannelClosed, FramedConnection
 
-__all__ = ["DisplayDaemon"]
+__all__ = ["DisplayDaemon", "DeliveryPolicy", "BroadcastPolicy"]
+
+
+class DeliveryPolicy:
+    """Decides how one renderer frame piece reaches the display ports.
+
+    ``deliver`` receives the frame message and a snapshot of the live
+    ports and returns how many whole frames were dropped as a result.
+    Subclasses can filter, reorder, or transform per port — the serving
+    layer uses this to interpose per-viewer admission.
+    """
+
+    def deliver(self, msg: FrameMessage, ports: Iterable["_DisplayPort"]) -> int:
+        raise NotImplementedError
+
+
+class BroadcastPolicy(DeliveryPolicy):
+    """The paper's behaviour: every display is offered every piece."""
+
+    def deliver(self, msg: FrameMessage, ports: Iterable["_DisplayPort"]) -> int:
+        dropped = 0
+        for port in ports:
+            dropped += port.offer(msg)
+        return dropped
 
 
 class DisplayDaemon:
@@ -36,10 +65,14 @@ class DisplayDaemon:
         Per-display image-buffer capacity in *frame ids* (0 = unbounded).
         When full, the oldest buffered frame id is dropped whole (all its
         pieces), never a partial frame.
+    policy:
+        The :class:`DeliveryPolicy` routing renderer frames into display
+        buffers (default: broadcast to all).
     """
 
-    def __init__(self, buffer_frames: int = 8):
+    def __init__(self, buffer_frames: int = 8, policy: DeliveryPolicy | None = None):
         self.buffer_frames = buffer_frames
+        self.policy = policy or BroadcastPolicy()
         self._lock = threading.Lock()
         self._renderers: list[FramedConnection] = []
         self._displays: list[_DisplayPort] = []
@@ -56,6 +89,9 @@ class DisplayDaemon:
         Equivalent to the peer sending a ``HelloMessage`` on a listening
         socket; interfaces call this through their constructor.
         """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("connect() on a closed DisplayDaemon")
         if role == "renderer":
             with self._lock:
                 self._renderers.append(conn)
@@ -86,11 +122,10 @@ class DisplayDaemon:
             if isinstance(msg, FrameMessage):
                 with self._lock:
                     displays = list(self._displays)
-                for port in displays:
-                    dropped = port.offer(msg)
-                    if dropped:
-                        with self._lock:
-                            self.dropped_frames += dropped
+                dropped = self.policy.deliver(msg, displays)
+                if dropped:
+                    with self._lock:
+                        self.dropped_frames += dropped
             elif isinstance(msg, HelloMessage):
                 continue  # registration handled in connect()
             elif isinstance(msg, ControlMessage):
@@ -158,12 +193,20 @@ class DisplayDaemon:
 
 
 class _DisplayPort:
-    """Per-display outbound frame buffer with whole-frame drop policy."""
+    """Per-display outbound frame buffer with whole-frame drop policy.
+
+    Pieces are grouped per frame id as they arrive, so enforcing the
+    frame-count cap never rescans the whole backlog: the victim is the
+    minimum of at most ``buffer_frames + 1`` keys, and evicting it drops
+    exactly that frame's piece deque — O(pieces of the victim), not
+    O(total buffered pieces²).
+    """
 
     def __init__(self, conn: FramedConnection, buffer_frames: int):
         self.conn = conn
         self.buffer_frames = buffer_frames
-        self._pieces: deque[FrameMessage] = deque()
+        # insertion-ordered: frame id -> its buffered pieces
+        self._by_frame: dict[int, deque[FrameMessage]] = {}
         self._cond = threading.Condition()
         self._shutdown = False
 
@@ -171,26 +214,26 @@ class _DisplayPort:
         """Queue a frame piece; returns how many frames were dropped."""
         dropped = 0
         with self._cond:
-            self._pieces.append(msg)
+            self._by_frame.setdefault(msg.frame_id, deque()).append(msg)
             if self.buffer_frames:
-                ids = sorted({p.frame_id for p in self._pieces})
-                while len(ids) > self.buffer_frames:
-                    victim = ids.pop(0)
-                    before = len(self._pieces)
-                    self._pieces = deque(
-                        p for p in self._pieces if p.frame_id != victim
-                    )
-                    if len(self._pieces) < before:
-                        dropped += 1
+                while len(self._by_frame) > self.buffer_frames:
+                    victim = min(self._by_frame)
+                    del self._by_frame[victim]
+                    dropped += 1
             self._cond.notify_all()
         return dropped
 
     def take(self) -> FrameMessage | None:
         with self._cond:
-            while not self._pieces and not self._shutdown:
+            while not self._by_frame and not self._shutdown:
                 self._cond.wait(timeout=0.5)
-            if self._pieces:
-                return self._pieces.popleft()
+            if self._by_frame:
+                fid = next(iter(self._by_frame))
+                pieces = self._by_frame[fid]
+                msg = pieces.popleft()
+                if not pieces:
+                    del self._by_frame[fid]
+                return msg
             return None
 
     def shutdown(self) -> None:

@@ -13,7 +13,7 @@ Two halves:
 
 from repro.net.link import SimLink
 from repro.net.topology import ROUTES, get_route, lan_route
-from repro.net.transport import Channel, FramedConnection, TrafficLog
+from repro.net.transport import Channel, FramedConnection, SizeWindow, TrafficLog
 from repro.net.xdisplay import XDisplayModel
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "Channel",
     "FramedConnection",
     "TrafficLog",
+    "SizeWindow",
     "XDisplayModel",
 ]

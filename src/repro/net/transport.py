@@ -7,72 +7,173 @@ blocking byte-frame queues — so the framework's real logic (framing,
 routing, callbacks) executes unchanged while a :class:`TrafficLog`
 records every frame's size for post-hoc cost accounting against a
 :class:`~repro.sim.cluster.WanRoute`.
+
+Long-running streaming sessions cross millions of frames, so the log
+keeps only a rolling window of individual sizes (:class:`SizeWindow`)
+while the byte/frame totals keep counting everything that ever crossed
+the connection.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.sim.cluster import WanRoute
 
-__all__ = ["Channel", "FramedConnection", "TrafficLog", "ChannelClosed"]
+__all__ = [
+    "Channel",
+    "FramedConnection",
+    "TrafficLog",
+    "SizeWindow",
+    "ChannelClosed",
+]
 
 
 class ChannelClosed(ConnectionError):
     """The peer closed the connection."""
 
 
+class SizeWindow(list):
+    """A frame-size list capped to a rolling window, with running totals.
+
+    Behaves like a plain ``list`` of the most recent ``window`` sizes
+    (``append``/``pop``/iteration/equality all work), but keeps
+    ``total_bytes``/``total_frames`` aggregates over *everything* ever
+    appended, so a day-long streaming session neither loses its byte
+    accounting nor grows without bound.  ``pop`` (used to un-log
+    connection bookkeeping such as handshake acks) rolls the aggregates
+    back; window eviction does not.
+    """
+
+    #: default number of retained per-frame sizes
+    DEFAULT_WINDOW = 4096
+
+    def __init__(self, iterable=(), window: int = DEFAULT_WINDOW):
+        super().__init__(iterable)
+        self.window = window
+        self.total_bytes = sum(self)
+        self.total_frames = len(self)
+        self._trim()
+
+    def append(self, n: int) -> None:
+        super().append(n)
+        self.total_bytes += n
+        self.total_frames += 1
+        self._trim()
+
+    def pop(self, index: int = -1) -> int:
+        n = super().pop(index)
+        self.total_bytes -= n
+        self.total_frames -= 1
+        return n
+
+    def _trim(self) -> None:
+        # amortized O(1): trim in chunks, not one element per append
+        if self.window and len(self) > 2 * self.window:
+            del self[: len(self) - self.window]
+
+
 @dataclass
 class TrafficLog:
-    """Sizes of frames that crossed a connection, by direction."""
+    """Sizes of frames that crossed a connection, by direction.
 
-    sent: list[int] = field(default_factory=list)
-    received: list[int] = field(default_factory=list)
+    ``sent``/``received`` retain only the most recent ``window`` sizes;
+    ``bytes_sent``/``bytes_received`` (and the ``frames_*`` counters)
+    aggregate over the whole connection lifetime.
+    """
+
+    sent: SizeWindow | None = None
+    received: SizeWindow | None = None
+    window: int = SizeWindow.DEFAULT_WINDOW
+
+    def __post_init__(self) -> None:
+        self.sent = SizeWindow(self.sent or (), window=self.window)
+        self.received = SizeWindow(self.received or (), window=self.window)
 
     @property
     def bytes_sent(self) -> int:
-        return sum(self.sent)
+        return self.sent.total_bytes
 
     @property
     def bytes_received(self) -> int:
-        return sum(self.received)
+        return self.received.total_bytes
+
+    @property
+    def frames_sent(self) -> int:
+        return self.sent.total_frames
+
+    @property
+    def frames_received(self) -> int:
+        return self.received.total_frames
 
     def replay_transfer_s(self, route: WanRoute) -> float:
-        """Total time these sent frames would take on ``route``."""
+        """Total time the *retained* sent frames would take on ``route``."""
         return sum(route.transfer_s(n) for n in self.sent)
 
 
 class Channel:
-    """One direction of a connection: an ordered queue of byte frames."""
+    """One direction of a connection: an ordered queue of byte frames.
+
+    With ``maxsize > 0`` the channel is a bounded pipe: ``send`` blocks
+    while the peer's backlog is full, which is how a slow consumer
+    exerts backpressure on its pump thread.  Blocked senders and
+    receivers both wake promptly (and raise :class:`ChannelClosed`) when
+    either side closes, so pump threads always join.
+    """
 
     _CLOSE = object()
+    _POLL_S = 0.05
 
     def __init__(self, maxsize: int = 0):
         self._q: queue.Queue = queue.Queue(maxsize=maxsize)
         self._closed = threading.Event()
 
     def send(self, frame: bytes) -> None:
-        if self._closed.is_set():
-            raise ChannelClosed("send on closed channel")
-        self._q.put(bytes(frame))
+        data = bytes(frame)
+        while True:
+            if self._closed.is_set():
+                raise ChannelClosed("send on closed channel")
+            try:
+                self._q.put(data, timeout=self._POLL_S)
+                return
+            except queue.Full:
+                continue
 
     def recv(self, timeout: float | None = None) -> bytes:
-        try:
-            item = self._q.get(timeout=timeout)
-        except queue.Empty:
-            raise TimeoutError("recv timed out") from None
-        if item is self._CLOSE:
-            # leave the marker visible to any other blocked reader
-            self._q.put(self._CLOSE)
-            raise ChannelClosed("channel closed by peer")
-        return item
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            step = self._POLL_S
+            if deadline is not None:
+                step = min(step, deadline - time.monotonic())
+                if step <= 0:
+                    raise TimeoutError("recv timed out")
+            try:
+                item = self._q.get(timeout=step)
+            except queue.Empty:
+                if self._closed.is_set():
+                    raise ChannelClosed("channel closed by peer") from None
+                continue
+            if item is self._CLOSE:
+                # leave the marker visible to any other blocked reader
+                self._requeue_close()
+                raise ChannelClosed("channel closed by peer")
+            return item
 
     def close(self) -> None:
         if not self._closed.is_set():
             self._closed.set()
-            self._q.put(self._CLOSE)
+            self._requeue_close()
+
+    def _requeue_close(self) -> None:
+        try:
+            self._q.put_nowait(self._CLOSE)
+        except queue.Full:
+            # a full bounded queue: readers drain the data items and then
+            # observe the closed flag on the next empty poll
+            pass
 
 
 class FramedConnection:

@@ -1,0 +1,295 @@
+"""The session broker: many viewers, one encode per (frame, tier).
+
+The paper's display daemon exists so one remote parallel renderer can
+feed viewers across a WAN (§4.1); the broker is the serving layer grown
+on top of that framework.  A renderer (or any frame source) publishes
+assembled frames once; the broker encodes each published frame at most
+once per quality tier *in use* — through the shared content-addressed
+:class:`~repro.serve.cache.FrameCache` — and delivers to every session
+under credit-based backpressure, so total encode work is a function of
+the tier mix, never of the viewer count.
+
+Viewers join and leave at any time; a ``seek`` control replays the
+broker's recent raw-frame history from the requested frame id at the
+session's current tier (replays of cached tiers are pure cache hits).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.compress import Codec
+from repro.compress.context import CodecContext
+from repro.daemon.protocol import ControlMessage, FrameMessage, decode_message
+from repro.net.transport import ChannelClosed, FramedConnection
+from repro.serve.cache import FrameCache
+from repro.serve.session import (
+    AdaptiveQualityController,
+    ViewerHandle,
+    ViewerSession,
+)
+from repro.serve.stats import ServeStats, SessionStats
+from repro.serve.tiers import QualityTier, TierLadder, default_ladder
+
+__all__ = ["SessionBroker"]
+
+
+class SessionBroker:
+    """Fan one frame stream out to many adaptive viewer sessions.
+
+    Parameters
+    ----------
+    ladder:
+        Quality tiers, best first (default: :func:`default_ladder`).
+    cache_bytes:
+        Byte budget of the shared encoded-frame cache.
+    credit_limit:
+        Max frames in flight per session before drops begin.
+    step_down_after / step_up_after:
+        Adaptive-controller hysteresis (see
+        :class:`~repro.serve.session.AdaptiveQualityController`).
+    history_frames:
+        How many recent raw frames are kept for ``seek`` replay.
+    """
+
+    def __init__(
+        self,
+        ladder: TierLadder | None = None,
+        cache_bytes: int = 64 << 20,
+        credit_limit: int = 4,
+        step_down_after: int = 2,
+        step_up_after: int = 16,
+        history_frames: int = 32,
+    ):
+        self.ladder = ladder or default_ladder()
+        self.cache = FrameCache(cache_bytes)
+        self.credit_limit = credit_limit
+        self.step_down_after = step_down_after
+        self.step_up_after = step_up_after
+        self.history_frames = history_frames
+        self._sessions: dict[str, ViewerSession] = {}
+        self._departed: list[SessionStats] = []
+        self._encoders: dict[tuple[str, int | None], Codec] = {}
+        self._encoder_context = CodecContext()
+        self._encode_lock = threading.Lock()
+        self._history: OrderedDict[int, tuple[int, np.ndarray]] = OrderedDict()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._session_counter = 0
+        self._frame_counter = 0
+        self.frames_published = 0
+        #: encode invocations — with a warm cache this stays at
+        #: (frames × tiers in use), independent of viewer count
+        self.encodes = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def join(self, name: str | None = None) -> ViewerHandle:
+        """Admit a viewer; returns its handle (viewer side of the pair)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("join() on a closed SessionBroker")
+            if name is None:
+                name = f"viewer{self._session_counter}"
+            self._session_counter += 1
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already joined")
+            broker_side, viewer_side = FramedConnection.pair(
+                f"{name}-broker", f"{name}-viewer"
+            )
+            context = CodecContext()
+            session = ViewerSession(
+                name,
+                broker_side,
+                self.ladder,
+                credit_limit=self.credit_limit,
+                controller=AdaptiveQualityController(
+                    self.step_down_after, self.step_up_after
+                ),
+                codec_context=context,
+            )
+            self._sessions[name] = session
+            t = threading.Thread(
+                target=self._pump_session, args=(session,), daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return ViewerHandle(name, viewer_side, context)
+
+    def leave(self, name: str) -> None:
+        """Detach a session broker-side (viewers normally send ``leave``)."""
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is not None:
+            session.deactivate()
+            self._departed.append(session.stats_snapshot())
+            session.conn.close()
+
+    def sessions(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(
+        self,
+        image: np.ndarray,
+        time_step: int = 0,
+        frame_id: int | None = None,
+    ) -> int:
+        """Offer one assembled frame to every session; returns its id.
+
+        Never blocks on a slow viewer: sessions out of credits drop the
+        frame (and their controller may demote them).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("publish() on a closed SessionBroker")
+            if frame_id is None:
+                frame_id = self._frame_counter
+            self._frame_counter = max(self._frame_counter, frame_id + 1)
+            self._history[frame_id] = (time_step, image)
+            while len(self._history) > self.history_frames:
+                self._history.popitem(last=False)
+            sessions = list(self._sessions.values())
+            self.frames_published += 1
+        for session in sessions:
+            self._deliver(session, frame_id, time_step, image)
+        return frame_id
+
+    def _deliver(
+        self,
+        session: ViewerSession,
+        frame_id: int,
+        time_step: int,
+        image: np.ndarray,
+    ) -> str:
+        tier = self.ladder[session.tier_index]
+        if not tier.admits(frame_id):
+            session.mark_skipped()
+            return "skipped"
+        payload = self._payload(frame_id, tier, image)
+        msg = FrameMessage(
+            frame_id=frame_id,
+            time_step=time_step,
+            codec=tier.codec,
+            payload=payload,
+            image_shape=(image.shape[0], image.shape[1]),
+        )
+        outcome = session.offer(msg)
+        if outcome == "closed":
+            self.leave(session.name)
+        return outcome
+
+    def _payload(
+        self, frame_id: int, tier: QualityTier, image: np.ndarray
+    ) -> bytes:
+        def encode() -> bytes:
+            with self._encode_lock:
+                self.encodes += 1
+                return self._encoder(tier).encode_image(image)
+
+        return self.cache.get_or_encode(tier.cache_key(frame_id), encode)
+
+    def _encoder(self, tier: QualityTier) -> Codec:
+        key = (tier.codec, tier.quality)
+        codec = self._encoders.get(key)
+        if codec is None:
+            codec = tier.make_codec()
+            if hasattr(codec, "use_context"):
+                codec.use_context(self._encoder_context)
+            self._encoders[key] = codec
+        return codec
+
+    # -- session control pump ----------------------------------------------
+
+    def _pump_session(self, session: ViewerSession) -> None:
+        """Viewer → broker: acks return credits; seek/leave are honored."""
+        while True:
+            try:
+                msg = decode_message(session.conn.recv())
+            except (ChannelClosed, TimeoutError):
+                session.deactivate()
+                return
+            if not isinstance(msg, ControlMessage):
+                continue
+            if msg.tag == "ack":
+                session.on_ack(int(msg.params.get("frame_id", -1)))
+            elif msg.tag == "seek":
+                self._replay(session, int(msg.params.get("frame_id", 0)))
+            elif msg.tag == "leave":
+                self.leave(session.name)
+                return
+
+    def _replay(self, session: ViewerSession, from_frame: int) -> None:
+        """Re-deliver buffered history from ``from_frame`` (cache-served)."""
+        with self._lock:
+            window = [
+                (fid, ts, img)
+                for fid, (ts, img) in self._history.items()
+                if fid >= from_frame
+            ]
+        for fid, ts, img in window:
+            self._deliver(session, fid, ts, img)
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        with self._lock:
+            live = [s.stats_snapshot() for s in self._sessions.values()]
+            departed = list(self._departed)
+        snapshot = ServeStats(
+            sessions={s.name: s for s in departed + live},
+            frames_published=self.frames_published,
+            encodes=self.encodes,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_evictions=self.cache.evictions,
+            cache_bytes=self.cache.current_bytes,
+            cache_entries=len(self.cache),
+        )
+        return snapshot
+
+    def drain(self, timeout: float = 5.0, names: list[str] | None = None) -> bool:
+        """Wait until the given sessions (default: all) have zero frames
+        in flight.  Pass ``names`` to exclude deliberately slow viewers."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                sessions = [
+                    s
+                    for s in self._sessions.values()
+                    if names is None or s.name in names
+                ]
+            if all(s.in_flight == 0 or not s.active for s in sessions):
+                return True
+            time.sleep(0.002)
+        return False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            threads = list(self._threads)
+        for session in sessions:
+            session.deactivate()
+            self._departed.append(session.stats_snapshot())
+            session.conn.close()
+        for t in threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "SessionBroker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

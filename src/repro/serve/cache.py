@@ -1,0 +1,105 @@
+"""Content-addressed encoded-frame cache shared by all viewer sessions.
+
+Bethel et al.'s WAN-visualization work puts a network data cache between
+the producer and its consumers; this is the in-process equivalent for
+encoded frames.  Entries are keyed on ``(frame_id, codec, quality)`` —
+pure content addresses, never per-viewer — so N viewers at the same tier
+cost one encode, and a seek back into recent history is a cache hit
+instead of a re-encode.
+
+Eviction is LRU under a byte budget: encoded payloads are small (tens of
+KB) but a long session crosses unbounded frame ids, so the budget, not
+an entry count, is the binding constraint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["FrameCache"]
+
+CacheKey = tuple  # (frame_id, codec_name, quality)
+
+
+class FrameCache:
+    """Thread-safe LRU cache of encoded frame payloads with a byte budget."""
+
+    def __init__(self, max_bytes: int = 64 << 20):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: number of payloads inserted (== encodes when used via get_or_encode)
+        self.inserts = 0
+
+    def get(self, key: CacheKey) -> bytes | None:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: CacheKey, payload: bytes) -> None:
+        with self._lock:
+            self._put_locked(key, payload)
+
+    def get_or_encode(self, key: CacheKey, encode: Callable[[], bytes]) -> bytes:
+        """Return the cached payload for ``key``, encoding at most once.
+
+        The encode callable runs outside the lock — encoding is the
+        expensive part and must not serialize unrelated lookups.  Two
+        racing encoders of the same key both produce identical content
+        (the key *is* the content address), so last-write-wins is safe.
+        """
+        payload = self.get(key)
+        if payload is not None:
+            return payload
+        payload = encode()
+        with self._lock:
+            self._put_locked(key, payload)
+        return payload
+
+    def _put_locked(self, key: CacheKey, payload: bytes) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= len(old)
+        self._entries[key] = payload
+        self.current_bytes += len(payload)
+        self.inserts += 1
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            _, victim = self._entries.popitem(last=False)
+            self.current_bytes -= len(victim)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FrameCache {len(self._entries)} entries "
+            f"{self.current_bytes}/{self.max_bytes}B "
+            f"hit={self.hit_ratio():.2f}>"
+        )

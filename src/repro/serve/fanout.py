@@ -1,0 +1,125 @@
+"""Fan-out measurement harness: delivered frames/sec vs. viewer count.
+
+Used by ``benchmarks/bench_serve_fanout.py`` (full sweep, ``--json``)
+and the ``make serve-smoke`` guardrail (tiny scale).  Viewers are real
+:class:`~repro.serve.session.ViewerHandle` consumers on their own
+threads, decoding every delivered frame; the cold pass encodes each
+(frame, tier) once, the warm pass republished the same frame ids against
+the already-populated cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.broker import SessionBroker
+from repro.serve.tiers import TierLadder
+
+__all__ = ["synthetic_frames", "run_fanout", "measure_fanout"]
+
+
+def synthetic_frames(n_frames: int, size: int = 96) -> list[np.ndarray]:
+    """A smooth animated RGB sequence (JPEG-friendly, codec-realistic)."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+    frames = []
+    for t in range(n_frames):
+        phase = 2 * np.pi * t / max(n_frames, 1)
+        img = np.stack(
+            [
+                128 + 100 * np.sin(xx / 11.0 + phase),
+                128 + 100 * np.cos(yy / 7.0 - phase),
+                (xx + yy + 8 * t) % 256,
+            ],
+            axis=-1,
+        )
+        frames.append(np.clip(img, 0, 255).astype(np.uint8))
+    return frames
+
+
+class _Drainer:
+    """A viewer thread that consumes (decodes + acks) as fast as it can."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.received = 0
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.handle.next_frame(timeout=0.2)
+            except TimeoutError:
+                continue
+            except ConnectionError:
+                return
+            self.received += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.thread.join(timeout=5.0)
+
+
+def run_fanout(
+    n_viewers: int,
+    frames: list[np.ndarray],
+    *,
+    ladder: TierLadder | None = None,
+    credit_limit: int = 8,
+    drain_timeout: float = 10.0,
+) -> dict:
+    """One broker run: cold pass then warm pass over the same frame ids.
+
+    Returns a dict with per-pass delivered-frames/sec, encode counts and
+    cache hit ratios, plus the final per-session drop totals.
+    """
+    broker = SessionBroker(ladder=ladder, credit_limit=credit_limit)
+    drainers = [_Drainer(broker.join(f"v{i:03d}")) for i in range(n_viewers)]
+    result: dict = {"viewers": n_viewers, "frames": len(frames)}
+    try:
+        for label in ("cold", "warm"):
+            hits0, misses0 = broker.cache.hits, broker.cache.misses
+            encodes0 = broker.encodes
+            acks0 = sum(
+                s.acks for s in broker.stats().sessions.values()
+            )
+            t0 = time.perf_counter()
+            for fid, image in enumerate(frames):
+                broker.publish(image, time_step=fid, frame_id=fid)
+            broker.drain(timeout=drain_timeout)
+            elapsed = time.perf_counter() - t0
+            stats = broker.stats()
+            delivered = sum(s.acks for s in stats.sessions.values()) - acks0
+            lookups = (stats.cache_hits - hits0) + (stats.cache_misses - misses0)
+            result[label] = {
+                "elapsed_s": elapsed,
+                "delivered_frames": delivered,
+                "delivered_fps": delivered / elapsed if elapsed > 0 else 0.0,
+                "encodes": stats.encodes - encodes0,
+                "cache_hit_ratio": (stats.cache_hits - hits0) / lookups
+                if lookups
+                else 0.0,
+            }
+        final = broker.stats()
+        result["dropped_frames"] = final.total_frames_dropped
+        result["tier_transitions"] = final.total_transitions
+    finally:
+        for d in drainers:
+            d.stop()
+        broker.close()
+    return result
+
+
+def measure_fanout(
+    viewer_counts: tuple[int, ...] = (1, 4, 16, 64),
+    n_frames: int = 32,
+    size: int = 96,
+    **kwargs,
+) -> list[dict]:
+    """The full sweep: one :func:`run_fanout` per viewer count."""
+    frames = synthetic_frames(n_frames, size=size)
+    return [run_fanout(n, frames, **kwargs) for n in viewer_counts]

@@ -1,0 +1,278 @@
+"""Per-viewer session state: credits, adaptive tier, and the viewer handle.
+
+Delivery is credit-based, not blind broadcast: a session may have at most
+``credit_limit`` frames in flight; each frame the viewer consumes returns
+one credit as an ``ack`` control message.  A session out of credits
+*drops* the frame immediately (the publisher never blocks on a slow
+viewer), and the :class:`AdaptiveQualityController` watches those drops
+and the ack drain rate to walk the session along the tier ladder —
+congestion steps it toward cheaper tiers, a sustained clean streak steps
+it back up.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress import Codec, get_codec
+from repro.compress.context import CodecContext
+from repro.daemon.protocol import ControlMessage, FrameMessage, decode_message
+from repro.net.transport import ChannelClosed, FramedConnection
+from repro.serve.stats import SessionStats, TierTransition
+from repro.serve.tiers import TierLadder
+
+__all__ = [
+    "AdaptiveQualityController",
+    "ViewerSession",
+    "ViewerHandle",
+    "ServedFrame",
+]
+
+
+class AdaptiveQualityController:
+    """Hysteresis between tiers: quick to step down, slow to step up.
+
+    ``step_down_after`` consecutive credit-exhausted drops demote the
+    session one tier; ``step_up_after`` consecutive acked deliveries with
+    no intervening drop promote it one.  Both streak counters reset on a
+    step so one congestion episode moves at most one tier per threshold
+    crossing.
+    """
+
+    def __init__(self, step_down_after: int = 2, step_up_after: int = 16):
+        if step_down_after < 1 or step_up_after < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.step_down_after = step_down_after
+        self.step_up_after = step_up_after
+        self._consecutive_drops = 0
+        self._consecutive_acks = 0
+
+    def on_dropped(self) -> int:
+        """Record a drop; returns the tier delta to apply (0 or +1)."""
+        self._consecutive_acks = 0
+        self._consecutive_drops += 1
+        if self._consecutive_drops >= self.step_down_after:
+            self._consecutive_drops = 0
+            return +1
+        return 0
+
+    def on_ack(self) -> int:
+        """Record a consumed frame; returns the tier delta (0 or -1)."""
+        self._consecutive_drops = 0
+        self._consecutive_acks += 1
+        if self._consecutive_acks >= self.step_up_after:
+            self._consecutive_acks = 0
+            return -1
+        return 0
+
+
+class ViewerSession:
+    """Broker-side record of one connected viewer."""
+
+    def __init__(
+        self,
+        name: str,
+        conn: FramedConnection,
+        ladder: TierLadder,
+        credit_limit: int = 4,
+        controller: AdaptiveQualityController | None = None,
+        codec_context: CodecContext | None = None,
+    ):
+        if credit_limit < 1:
+            raise ValueError("credit_limit must be >= 1")
+        self.name = name
+        self.conn = conn
+        self.ladder = ladder
+        self.credit_limit = credit_limit
+        self.controller = controller or AdaptiveQualityController()
+        #: the decode-side context shared with this session's ViewerHandle
+        self.codec_context = codec_context or CodecContext()
+        self.tier_index = 0
+        self.in_flight = 0
+        self.active = True
+        #: resume point for seek(): next frame id the viewer wants
+        self.position = 0
+        self._lock = threading.Lock()
+        self._stats = SessionStats(name=name, tier=ladder[0].name)
+
+    # -- delivery ----------------------------------------------------------
+
+    def offer(self, msg: FrameMessage) -> str:
+        """Try to deliver one encoded frame; returns the outcome.
+
+        ``"sent"``: a credit was available and the frame went out.
+        ``"dropped"``: the viewer is out of credits (may demote the tier).
+        ``"closed"``: the connection is gone.
+        """
+        with self._lock:
+            if not self.active:
+                return "closed"
+            if self.in_flight >= self.credit_limit:
+                self._stats.frames_dropped += 1
+                self._apply_delta(self.controller.on_dropped(), msg.frame_id,
+                                  "congestion")
+                return "dropped"
+            try:
+                self.conn.send(msg.encode())
+            except ChannelClosed:
+                self.active = False
+                self._stats.active = False
+                return "closed"
+            self.in_flight += 1
+            self._stats.frames_sent += 1
+            self._stats.bytes_sent += len(msg.payload)
+            self.position = msg.frame_id + 1
+            return "sent"
+
+    def mark_skipped(self) -> None:
+        """Count a stride-filtered frame (deliberate, not congestion)."""
+        with self._lock:
+            self._stats.frames_skipped += 1
+
+    def on_ack(self, frame_id: int) -> None:
+        """A credit came back: the viewer consumed ``frame_id``."""
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - 1)
+            self._stats.acks += 1
+            self._apply_delta(self.controller.on_ack(), frame_id, "recovered")
+
+    def _apply_delta(self, delta: int, frame_id: int, reason: str) -> None:
+        # caller holds the lock
+        if not delta:
+            return
+        new_index = self.ladder.clamp(self.tier_index + delta)
+        if new_index == self.tier_index:
+            return
+        old = self.ladder[self.tier_index].name
+        new = self.ladder[new_index].name
+        self.tier_index = new_index
+        self._stats.tier = new
+        self._stats.transitions.append(
+            TierTransition(frame_id=frame_id, from_tier=old, to_tier=new,
+                           reason=reason)
+        )
+        try:  # tell the viewer which tier it is watching now
+            self.conn.send(
+                ControlMessage(tag="tier", params={"tier": new, "reason": reason})
+                .encode()
+            )
+        except ChannelClosed:
+            self.active = False
+            self._stats.active = False
+
+    def deactivate(self) -> None:
+        with self._lock:
+            self.active = False
+            self._stats.active = False
+
+    def stats_snapshot(self) -> SessionStats:
+        with self._lock:
+            snap = SessionStats(
+                name=self.name,
+                tier=self._stats.tier,
+                frames_sent=self._stats.frames_sent,
+                frames_dropped=self._stats.frames_dropped,
+                frames_skipped=self._stats.frames_skipped,
+                bytes_sent=self._stats.bytes_sent,
+                acks=self._stats.acks,
+                transitions=list(self._stats.transitions),
+                decode_context_hit_ratio=self.codec_context.hit_ratio(),
+                active=self.active,
+            )
+        return snap
+
+
+@dataclass(frozen=True)
+class ServedFrame:
+    """One frame as the viewer receives it."""
+
+    frame_id: int
+    time_step: int
+    codec: str
+    image: np.ndarray
+    payload_bytes: int
+
+
+class ViewerHandle:
+    """The viewer's end of a broker session.
+
+    ``next_frame()`` blocks for the next delivered frame, decodes it with
+    this session's persistent :class:`CodecContext`, and acks it — the
+    ack is what returns the delivery credit, so a viewer that stops
+    calling ``next_frame`` is, by construction, a slow viewer.
+    """
+
+    def __init__(self, name: str, conn: FramedConnection,
+                 codec_context: CodecContext):
+        self.name = name
+        self.conn = conn
+        self.codec_context = codec_context
+        self._codecs: dict[str, Codec] = {}
+        #: most recent tier the broker told us we are watching
+        self.current_tier: str | None = None
+        self._closed = False
+
+    def _decoder(self, name: str) -> Codec:
+        codec = self._codecs.get(name)
+        if codec is None:
+            codec = get_codec(name)
+            if hasattr(codec, "use_context"):
+                codec.use_context(self.codec_context)
+            self._codecs[name] = codec
+        return codec
+
+    def next_frame(self, timeout: float | None = 5.0) -> ServedFrame:
+        """Receive, decode, and ack the next frame."""
+        while True:
+            msg = decode_message(
+                memoryview(self.conn.recv(timeout=timeout)), copy=False
+            )
+            if isinstance(msg, FrameMessage):
+                image = self._decoder(msg.codec).decode_image(msg.payload)
+                self._ack(msg.frame_id)
+                return ServedFrame(
+                    frame_id=msg.frame_id,
+                    time_step=msg.time_step,
+                    codec=msg.codec,
+                    image=image,
+                    payload_bytes=len(msg.payload),
+                )
+            if isinstance(msg, ControlMessage) and msg.tag == "tier":
+                self.current_tier = msg.params.get("tier")
+            # other control traffic is broker bookkeeping
+
+    def _ack(self, frame_id: int) -> None:
+        try:
+            self.conn.send(
+                ControlMessage(tag="ack", params={"frame_id": frame_id}).encode()
+            )
+        except ChannelClosed:
+            pass
+
+    def seek(self, frame_id: int) -> None:
+        """Ask the broker to replay its recent history from ``frame_id``."""
+        self.conn.send(
+            ControlMessage(tag="seek", params={"frame_id": frame_id}).encode()
+        )
+
+    def leave(self) -> None:
+        """Politely end the session (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.conn.send(ControlMessage(tag="leave").encode())
+        except ChannelClosed:
+            pass
+        self.conn.close()
+
+    close = leave
+
+    def __enter__(self) -> "ViewerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.leave()

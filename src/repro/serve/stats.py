@@ -1,0 +1,99 @@
+"""The serving layer's observable surface.
+
+Per-session delivery counters, cache effectiveness, and every tier
+transition the adaptive controller made — the numbers an operator needs
+to answer "is the fan-out actually sharing work?" and "which viewers are
+being stepped down?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SessionStats", "TierTransition", "ServeStats"]
+
+
+@dataclass(frozen=True)
+class TierTransition:
+    """One adaptive step of one session."""
+
+    frame_id: int
+    from_tier: str
+    to_tier: str
+    reason: str  # "congestion" or "recovered"
+
+
+@dataclass
+class SessionStats:
+    """Delivery counters for one viewer session."""
+
+    name: str
+    tier: str = ""
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_skipped: int = 0  # stride-filtered, deliberate
+    bytes_sent: int = 0
+    acks: int = 0
+    transitions: list[TierTransition] = field(default_factory=list)
+    decode_context_hit_ratio: float = 0.0
+    active: bool = True
+
+    @property
+    def drop_ratio(self) -> float:
+        offered = self.frames_sent + self.frames_dropped
+        return self.frames_dropped / offered if offered else 0.0
+
+
+@dataclass
+class ServeStats:
+    """A point-in-time snapshot of the whole broker."""
+
+    sessions: dict[str, SessionStats] = field(default_factory=dict)
+    frames_published: int = 0
+    encodes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_bytes: int = 0
+    cache_entries: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_frames_sent(self) -> int:
+        return sum(s.frames_sent for s in self.sessions.values())
+
+    @property
+    def total_frames_dropped(self) -> int:
+        return sum(s.frames_dropped for s in self.sessions.values())
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.sessions.values())
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(len(s.transitions) for s in self.sessions.values())
+
+    def summary(self) -> str:
+        """A human-readable operator report (the CLI prints this)."""
+        lines = [
+            f"published {self.frames_published} frames, "
+            f"{self.encodes} encodes, cache hit ratio "
+            f"{self.cache_hit_ratio * 100:.1f}% "
+            f"({self.cache_entries} entries, {self.cache_bytes} B)",
+            f"{'session':<14}{'tier':>6}{'sent':>7}{'drop':>6}"
+            f"{'skip':>6}{'bytes':>12}{'steps':>6}",
+        ]
+        for name in sorted(self.sessions):
+            s = self.sessions[name]
+            marker = "" if s.active else " (left)"
+            lines.append(
+                f"{name:<14}{s.tier:>6}{s.frames_sent:>7}"
+                f"{s.frames_dropped:>6}{s.frames_skipped:>6}"
+                f"{s.bytes_sent:>12}{len(s.transitions):>6}{marker}"
+            )
+        return "\n".join(lines)

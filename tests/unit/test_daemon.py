@@ -189,3 +189,99 @@ class TestLifecycle:
             conn, _ = FramedConnection.pair()
             with pytest.raises(ValueError):
                 daemon.connect(conn, role="spectator")
+
+
+class TestSlowConsumer:
+    """A display that never drains must not stall anyone else."""
+
+    def _bounded_display(self, daemon, maxsize=2):
+        from repro.net.transport import FramedConnection
+
+        local, remote = FramedConnection.pair("slow-local", "slow-daemon",
+                                              maxsize=maxsize)
+        daemon.connect(remote, role="display", name="slow")
+        return local
+
+    def test_never_draining_display_triggers_whole_frame_drops(
+        self, gradient_image
+    ):
+        from repro.daemon import DisplayDaemon, DisplayInterface, RendererInterface
+
+        n_frames, buffer_frames = 30, 2
+        daemon = DisplayDaemon(buffer_frames=buffer_frames)
+        renderer = RendererInterface(daemon, codec="raw")
+        fast = DisplayInterface(daemon, name="fast")
+        self._bounded_display(daemon)  # never recv'd from
+        # paced stream: the fast display consumes each frame as it lands,
+        # so any drop can only come from the wedged slow display
+        steps = []
+        for t in range(n_frames):
+            renderer.send_frame(gradient_image, time_step=t, frame_id=t)
+            steps.append(fast.next_frame(timeout=5).time_step)
+        assert steps == list(range(n_frames))
+        deadline = time.time() + 5
+        while daemon.dropped_frames == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        # accounting: everything beyond the slow port's pipe + buffer
+        # capacity was dropped whole, and only from the slow display
+        assert daemon.dropped_frames > 0
+        assert daemon.dropped_frames <= n_frames - buffer_frames
+        daemon.close()
+
+    def test_close_mid_stream_joins_all_pump_threads(self, gradient_image):
+        from repro.daemon import DisplayDaemon, DisplayInterface, RendererInterface
+
+        daemon = DisplayDaemon(buffer_frames=2)
+        renderer = RendererInterface(daemon, codec="raw")
+        DisplayInterface(daemon, name="fast")
+        self._bounded_display(daemon)  # its frame pump blocks in send()
+        for t in range(20):
+            renderer.send_frame(gradient_image, time_step=t, frame_id=t)
+        time.sleep(0.2)  # let pumps wedge against the full pipe
+        daemon.close()
+        for thread in daemon._threads:
+            thread.join(timeout=1.0)
+        assert all(not t.is_alive() for t in daemon._threads)
+
+
+class TestLifecycleGuards:
+    def test_connect_after_close_raises(self):
+        from repro.daemon import DisplayDaemon
+        from repro.net.transport import FramedConnection
+
+        daemon = DisplayDaemon()
+        daemon.close()
+        conn, _ = FramedConnection.pair()
+        with pytest.raises(RuntimeError):
+            daemon.connect(conn, role="display")
+        with pytest.raises(RuntimeError):
+            daemon.connect(conn, role="renderer")
+
+
+class TestDeliveryPolicy:
+    def test_custom_policy_filters_displays(self, gradient_image):
+        from repro.daemon import DisplayDaemon, DisplayInterface, RendererInterface
+        from repro.daemon.display_daemon import DeliveryPolicy
+
+        class EvenFramesOnly(DeliveryPolicy):
+            def deliver(self, msg, ports):
+                if msg.frame_id % 2:
+                    return 0
+                dropped = 0
+                for port in ports:
+                    dropped += port.offer(msg)
+                return dropped
+
+        with DisplayDaemon(policy=EvenFramesOnly()) as daemon:
+            renderer = RendererInterface(daemon, codec="raw")
+            display = DisplayInterface(daemon)
+            for t in range(6):
+                renderer.send_frame(gradient_image, time_step=t, frame_id=t)
+            steps = [display.next_frame(timeout=5).time_step for _ in range(3)]
+            assert steps == [0, 2, 4]
+
+    def test_default_policy_is_broadcast(self):
+        from repro.daemon import BroadcastPolicy, DisplayDaemon
+
+        with DisplayDaemon() as daemon:
+            assert isinstance(daemon.policy, BroadcastPolicy)

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.machine",
     "repro.net",
     "repro.render",
+    "repro.serve",
     "repro.sim",
 ]
 

@@ -1,0 +1,326 @@
+"""Unit tests for the serving layer: broker, cache, tiers, adaptation."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdaptiveQualityController,
+    FrameCache,
+    QualityTier,
+    SessionBroker,
+    TierLadder,
+    default_ladder,
+)
+from repro.serve.fanout import synthetic_frames
+
+#: an all-lossless ladder so image round-trips can be asserted exactly
+LOSSLESS_LADDER = TierLadder(
+    (
+        QualityTier("full", "lzo"),
+        QualityTier("lite", "rle"),
+        QualityTier("skip", "rle", frame_stride=2),
+    )
+)
+
+
+class TestFrameCache:
+    def test_get_or_encode_encodes_once(self):
+        cache = FrameCache(max_bytes=1 << 20)
+        calls = []
+
+        def encode():
+            calls.append(1)
+            return b"payload"
+
+        key = (0, "jpeg", 75)
+        assert cache.get_or_encode(key, encode) == b"payload"
+        assert cache.get_or_encode(key, encode) == b"payload"
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_under_byte_budget(self):
+        cache = FrameCache(max_bytes=100)
+        cache.put((0, "c", None), b"x" * 40)
+        cache.put((1, "c", None), b"x" * 40)
+        cache.get((0, "c", None))  # 0 is now most recently used
+        cache.put((2, "c", None), b"x" * 40)  # evicts 1, the LRU entry
+        assert (0, "c", None) in cache
+        assert (1, "c", None) not in cache
+        assert (2, "c", None) in cache
+        assert cache.evictions == 1
+        assert cache.current_bytes == 80
+
+    def test_oversized_entry_keeps_newest(self):
+        cache = FrameCache(max_bytes=10)
+        cache.put((0, "c", None), b"x" * 50)
+        assert (0, "c", None) in cache  # never evict down to empty
+
+    def test_replace_same_key_accounts_bytes(self):
+        cache = FrameCache(max_bytes=100)
+        cache.put((0, "c", None), b"x" * 30)
+        cache.put((0, "c", None), b"x" * 50)
+        assert cache.current_bytes == 50
+        assert len(cache) == 1
+
+
+class TestTiers:
+    def test_default_ladder_degrades_monotonically(self):
+        ladder = default_ladder()
+        assert ladder[0].name == "full"
+        qualities = [t.quality for t in ladder]
+        assert qualities == sorted(qualities, reverse=True)
+        assert ladder[len(ladder) - 1].frame_stride > 1
+
+    def test_stride_admission(self):
+        tier = QualityTier("skip", "jpeg", quality=30, frame_stride=3)
+        admitted = [fid for fid in range(9) if tier.admits(fid)]
+        assert admitted == [0, 3, 6]
+
+    def test_ladder_validation(self):
+        with pytest.raises(ValueError):
+            TierLadder(())
+        with pytest.raises(ValueError):
+            TierLadder((QualityTier("a", "raw"), QualityTier("a", "lzo")))
+        with pytest.raises(ValueError):
+            QualityTier("bad", "raw", frame_stride=0)
+
+    def test_clamp_and_index(self):
+        ladder = LOSSLESS_LADDER
+        assert ladder.clamp(-3) == 0
+        assert ladder.clamp(99) == len(ladder) - 1
+        assert ladder.index_of("lite") == 1
+        with pytest.raises(KeyError):
+            ladder.index_of("nope")
+
+
+class TestController:
+    def test_step_down_needs_consecutive_drops(self):
+        c = AdaptiveQualityController(step_down_after=2, step_up_after=4)
+        assert c.on_dropped() == 0
+        assert c.on_ack() == 0  # streak broken
+        assert c.on_dropped() == 0
+        assert c.on_dropped() == +1  # two in a row
+
+    def test_step_up_after_clean_streak(self):
+        c = AdaptiveQualityController(step_down_after=2, step_up_after=3)
+        assert [c.on_ack() for _ in range(3)] == [0, 0, -1]
+        # streak counter reset: three more needed for the next step
+        assert [c.on_ack() for _ in range(3)] == [0, 0, -1]
+
+
+def _paced_publish(broker, frames, names=None):
+    """Publish a sequence, draining between frames so healthy viewers
+    never exhaust credits (a paced render loop, not a burst)."""
+    for fid, image in enumerate(frames):
+        broker.publish(image, time_step=fid, frame_id=fid)
+        assert broker.drain(timeout=5.0, names=names)
+
+
+class _Consumer:
+    """Background viewer draining every frame it is sent."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.frames = []
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        while not self._stop.is_set():
+            try:
+                self.frames.append(self.handle.next_frame(timeout=0.2))
+            except TimeoutError:
+                continue
+            except ConnectionError:
+                return
+
+    def stop(self):
+        self._stop.set()
+        self.thread.join(timeout=5.0)
+
+
+class TestBroker:
+    def test_single_viewer_lossless_roundtrip(self):
+        frames = synthetic_frames(4, size=32)
+        with SessionBroker(ladder=LOSSLESS_LADDER) as broker:
+            handle = broker.join("v0")
+            got = []
+            for fid, image in enumerate(frames):
+                broker.publish(image, time_step=fid, frame_id=fid)
+                got.append(handle.next_frame(timeout=5.0))
+            for frame, image in zip(got, frames):
+                assert frame.codec == "lzo"
+                assert np.array_equal(frame.image, image)
+            assert [f.frame_id for f in got] == [0, 1, 2, 3]
+            handle.leave()
+
+    def test_encode_work_independent_of_viewer_count(self):
+        """One rendered sequence, 1 vs 16 viewers: same encode total,
+        and 16 viewers make the shared cache hit >= 80%."""
+        frames = synthetic_frames(8, size=32)
+        encode_totals = {}
+        for n_viewers in (1, 16):
+            with SessionBroker(ladder=LOSSLESS_LADDER, credit_limit=16) as broker:
+                consumers = [
+                    _Consumer(broker.join(f"v{i}")) for i in range(n_viewers)
+                ]
+                _paced_publish(broker, frames)
+                stats = broker.stats()
+                encode_totals[n_viewers] = stats.encodes
+                if n_viewers == 16:
+                    # first lookup of each frame misses, 15 viewers hit
+                    assert stats.cache_hit_ratio >= 0.8
+                    assert stats.total_frames_sent == 16 * len(frames)
+                for c in consumers:
+                    c.stop()
+        assert encode_totals[1] == encode_totals[16] == len(frames)
+
+    def test_slow_viewer_steps_down_without_hurting_fast(self):
+        frames = synthetic_frames(20, size=32)
+        with SessionBroker(
+            ladder=LOSSLESS_LADDER,
+            credit_limit=2,
+            step_down_after=2,
+            step_up_after=1000,  # no promotion during this test
+        ) as broker:
+            fast = _Consumer(broker.join("fast"))
+            slow_handle = broker.join("slow")  # never consumes
+            _paced_publish(broker, frames, names=["fast"])
+            stats = broker.stats()
+            # the fast viewer's frame rate is untouched by the slow one
+            assert stats.sessions["fast"].frames_sent == len(frames)
+            assert stats.sessions["fast"].frames_dropped == 0
+            assert stats.sessions["fast"].tier == "full"
+            # the slow one ran out of credits, dropped, and was demoted
+            slow = stats.sessions["slow"]
+            assert slow.frames_dropped > 0
+            assert slow.tier != "full"
+            assert len(slow.transitions) >= 1
+            assert slow.transitions[0].reason == "congestion"
+            fast.stop()
+            slow_handle.leave()
+
+    def test_demoted_viewer_recovers_tier(self):
+        frames = synthetic_frames(30, size=32)
+        with SessionBroker(
+            ladder=LOSSLESS_LADDER,
+            credit_limit=1,
+            step_down_after=1,
+            step_up_after=4,
+        ) as broker:
+            handle = broker.join("v0")
+            # burst with nobody consuming: immediate demotion
+            for fid in range(4):
+                broker.publish(frames[fid], time_step=fid, frame_id=fid)
+            deadline = time.time() + 5
+            while not broker.stats().sessions["v0"].transitions:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            # now consume everything: acks stream back, tier recovers
+            consumer = _Consumer(handle)
+            for fid in range(4, 30):
+                broker.publish(frames[fid], time_step=fid, frame_id=fid)
+                broker.drain(timeout=5.0)
+            deadline = time.time() + 5
+            while broker.stats().sessions["v0"].tier != "full":
+                assert time.time() < deadline, "viewer never promoted back"
+                time.sleep(0.01)
+            reasons = {t.reason for t in broker.stats().sessions["v0"].transitions}
+            assert "recovered" in reasons
+            consumer.stop()
+
+    def test_seek_replays_recent_history_from_cache(self):
+        frames = synthetic_frames(10, size=32)
+        with SessionBroker(ladder=LOSSLESS_LADDER, credit_limit=16) as broker:
+            viewer = _Consumer(broker.join("v0"))
+            _paced_publish(broker, frames)
+            encodes_before = broker.stats().encodes
+            late = broker.join("late")
+            late.seek(6)
+            got = [late.next_frame(timeout=5.0) for _ in range(4)]
+            assert [f.frame_id for f in got] == [6, 7, 8, 9]
+            assert np.array_equal(got[0].image, frames[6])
+            # the replay came straight out of the shared cache
+            assert broker.stats().encodes == encodes_before
+            viewer.stop()
+            late.leave()
+
+    def test_leave_preserves_stats_and_frees_session(self):
+        frames = synthetic_frames(3, size=32)
+        with SessionBroker(ladder=LOSSLESS_LADDER) as broker:
+            handle = broker.join("v0")
+            consumer = _Consumer(handle)
+            _paced_publish(broker, frames)
+            consumer.stop()
+            handle.leave()
+            deadline = time.time() + 5
+            while "v0" in broker.sessions():
+                assert time.time() < deadline
+                time.sleep(0.01)
+            stats = broker.stats()
+            assert stats.sessions["v0"].frames_sent == 3
+            assert not stats.sessions["v0"].active
+            # the name is reusable after departure
+            broker.join("v0").leave()
+
+    def test_join_after_close_raises(self):
+        broker = SessionBroker()
+        broker.close()
+        with pytest.raises(RuntimeError):
+            broker.join()
+        with pytest.raises(RuntimeError):
+            broker.publish(np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_duplicate_name_rejected(self):
+        with SessionBroker() as broker:
+            broker.join("dup")
+            with pytest.raises(ValueError):
+                broker.join("dup")
+
+    def test_stride_tier_skips_frames(self):
+        frames = synthetic_frames(6, size=32)
+        with SessionBroker(ladder=LOSSLESS_LADDER) as broker:
+            handle = broker.join("v0")
+            session = broker._sessions["v0"]
+            session.tier_index = 2  # "skip", stride 2
+            consumer = _Consumer(handle)
+            _paced_publish(broker, frames)
+            stats = broker.stats()
+            assert stats.sessions["v0"].frames_sent == 3  # fids 0, 2, 4
+            assert stats.sessions["v0"].frames_skipped == 3
+            consumer.stop()
+
+    def test_stats_summary_renders(self):
+        with SessionBroker() as broker:
+            broker.join("v0")
+            broker.publish(synthetic_frames(1, size=32)[0])
+            text = broker.stats().summary()
+        assert "v0" in text
+        assert "cache hit ratio" in text
+
+    def test_tier_notification_reaches_viewer(self):
+        frames = synthetic_frames(6, size=32)
+        with SessionBroker(
+            ladder=LOSSLESS_LADDER, credit_limit=1, step_down_after=1
+        ) as broker:
+            handle = broker.join("v0")  # not consuming yet: demotion
+            for fid in range(4):
+                broker.publish(frames[fid], time_step=fid, frame_id=fid)
+            deadline = time.time() + 5
+            while not broker.stats().sessions["v0"].transitions:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            # the queued tier control message is seen while consuming
+            handle.next_frame(timeout=5.0)
+            deadline = time.time() + 5
+            while handle.current_tier is None and time.time() < deadline:
+                try:
+                    handle.next_frame(timeout=0.2)
+                except TimeoutError:
+                    pass
+            assert handle.current_tier in ("lite", "skip")
+            handle.leave()

@@ -145,3 +145,67 @@ class TestProtocol:
         frame = b"RVIZ" + bytes([9]) + (2).to_bytes(4, "little") + b"{}"
         with pytest.raises(ProtocolError):
             decode_message(frame)
+
+
+class TestSizeWindow:
+    def test_traffic_log_caps_retained_sizes(self):
+        from repro.net.transport import SizeWindow
+
+        log = TrafficLog(window=8)
+        for i in range(100):
+            log.sent.append(10)
+        # the retained list is bounded, the aggregates are not
+        assert len(log.sent) <= 2 * 8
+        assert log.bytes_sent == 1000
+        assert log.frames_sent == 100
+        assert isinstance(log.sent, SizeWindow)
+
+    def test_pop_rolls_back_aggregates(self):
+        log = TrafficLog()
+        log.received.append(7)
+        log.received.append(5)
+        assert log.received.pop() == 5
+        assert log.bytes_received == 7
+        assert log.frames_received == 1
+
+    def test_plain_list_init_still_works(self):
+        log = TrafficLog(sent=[1000, 2000])
+        assert log.bytes_sent == 3000
+        assert log.sent == [1000, 2000]
+
+    def test_window_eviction_keeps_recent_sizes(self):
+        log = TrafficLog(window=4)
+        for i in range(20):
+            log.sent.append(i)
+        assert list(log.sent)[-1] == 19
+        assert log.bytes_sent == sum(range(20))
+
+
+class TestBoundedChannelClose:
+    def test_send_on_full_channel_unblocks_on_close(self):
+        ch = Channel(maxsize=1)
+        ch.send(b"fill")
+        errors = []
+
+        def sender():
+            try:
+                ch.send(b"blocked")
+            except ChannelClosed as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # genuinely blocked on the full queue
+        ch.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert len(errors) == 1
+
+    def test_reader_drains_then_sees_close_on_full_channel(self):
+        ch = Channel(maxsize=1)
+        ch.send(b"data")
+        ch.close()  # close marker cannot fit in the full queue
+        assert ch.recv(timeout=1.0) == b"data"
+        with pytest.raises(ChannelClosed):
+            ch.recv(timeout=1.0)
