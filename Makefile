@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-fast bench-smoke serve-smoke reproduce examples clean
+.PHONY: install test bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,13 +19,18 @@ bench-fast:
 # Quick decode-throughput guardrail (seconds, not minutes): runs only the
 # perf_smoke-marked tests, which assert order-of-magnitude floors.
 # PYTHONPATH=src so it works from a fresh checkout without `make install`.
-bench-smoke: serve-smoke
+bench-smoke: serve-smoke faults-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/ -m perf_smoke
 
 # Serving-layer guardrail: the fan-out benchmark at tiny scale
 # (4 viewers, 16 frames) — catches broker/cache regressions in seconds.
 serve-smoke:
 	PYTHONPATH=src $(PY) -m pytest tests/unit/test_serve_smoke.py -m perf_smoke
+
+# Resilience guardrail: one lossy/jittery WAN cell — catches retry,
+# credit-leak, and reconnect-resume regressions in seconds.
+faults-smoke:
+	PYTHONPATH=src $(PY) -m pytest tests/unit/test_faults_smoke.py -m perf_smoke
 
 reproduce:
 	$(PY) examples/reproduce_paper.py

@@ -7,7 +7,8 @@ Commands mirror the workflows a user of the paper's system would run:
 - ``partition`` sweep the processor grouping L (Figure 6/7 workflow);
 - ``codecs``    compare codecs on a rendered frame (Table 1 workflow);
 - ``simulate``  one pipeline configuration on a modeled machine;
-- ``serve``     fan one rendered sequence out to N adaptive viewers.
+- ``serve``     fan one rendered sequence out to N adaptive viewers;
+- ``faults``    serve over a WAN-shaped link with injected faults.
 """
 
 from __future__ import annotations
@@ -137,6 +138,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--synthetic", action="store_true",
                    help="use synthetic frames instead of rendering the dataset")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "faults",
+        help="serve synthetic frames over a fault-injected WAN link",
+    )
+    p.add_argument("--seed", type=int, default=1234,
+                   help="fault-plan seed (same seed -> same behaviour)")
+    p.add_argument("--loss", type=float, default=0.05,
+                   help="per-attempt frame loss ratio (retransmitted)")
+    p.add_argument("--latency", type=float, default=0.0,
+                   help="fixed one-way delivery latency, seconds")
+    p.add_argument("--jitter", type=float, default=0.1,
+                   help="uniform extra delay on top of latency, seconds")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="per-attempt payload corruption ratio")
+    p.add_argument("--disconnect-after", type=int, default=None,
+                   help="cut the link after N delivered frames "
+                        "(viewer reconnects and resumes)")
+    p.add_argument("--frames", type=int, default=96)
+    p.add_argument("--viewers", type=int, default=2)
+    p.add_argument("--pace", type=float, default=0.03,
+                   help="seconds between published frames")
+    p.add_argument("--credits", type=int, default=8)
+    p.set_defaults(func=cmd_faults)
 
     return parser
 
@@ -349,6 +374,48 @@ def cmd_serve(args) -> int:
     print(f"delivered {stats.total_frames_sent} frames "
           f"({stats.total_bytes_sent} B) in {elapsed:.2f}s; "
           f"{stats.total_transitions} tier transitions")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.net.faults import FaultPlan
+    from repro.serve.faultrun import run_with_faults
+
+    plan = FaultPlan(
+        seed=args.seed,
+        loss_ratio=args.loss,
+        latency_s=args.latency,
+        jitter_s=args.jitter,
+        corrupt_ratio=args.corrupt,
+        disconnect_after=args.disconnect_after,
+    )
+    report = run_with_faults(
+        plan,
+        n_frames=args.frames,
+        n_viewers=args.viewers,
+        credit_limit=args.credits,
+        pace_s=args.pace,
+    )
+    print(f"plan           : loss {plan.loss_ratio * 100:.1f}%  "
+          f"latency {plan.latency_s * 1000:.0f}ms  "
+          f"jitter {plan.jitter_s * 1000:.0f}ms  "
+          f"corrupt {plan.corrupt_ratio * 100:.1f}%  "
+          f"disconnect_after {plan.disconnect_after}")
+    print(f"published      : {report['n_frames']} frames to "
+          f"{report['n_viewers']} viewers in {report['elapsed_s']:.2f}s")
+    print(f"delivered ratio: {report['delivered_ratio'] * 100:.1f}% (worst), "
+          f"{report['mean_delivered_ratio'] * 100:.1f}% (mean)")
+    print(f"resumes        : {report['resumes']}  "
+          f"malformed ctrl : {report['malformed_controls']}")
+    header = (f"{'session':<10}{'ratio':>8}{'acks':>7}{'skip':>6}{'drop':>6}"
+              f"{'tier':>6}{'steps':>7}{'rejoin':>8}{'dups':>6}")
+    print(header)
+    for name in sorted(report["sessions"]):
+        s = report["sessions"][name]
+        print(f"{name:<10}{s['delivered_ratio'] * 100:>7.1f}%{s['acks']:>7}"
+              f"{s['skipped']:>6}{s['dropped']:>6}{s['tier']:>6}"
+              f"{s['transitions']:>7}{s['reconnects']:>8}"
+              f"{s['observed_duplicates']:>6}")
     return 0
 
 

@@ -107,8 +107,14 @@ class DisplayDaemon:
 
     def _spawn(self, target, *args) -> None:
         t = threading.Thread(target=target, args=args, daemon=True)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("connect() raced with close()")
+            # prune finished pumps so a long-lived daemon serving many
+            # transient peers does not accumulate dead Thread objects
+            self._threads = [p for p in self._threads if p.is_alive()]
+            self._threads.append(t)
         t.start()
-        self._threads.append(t)
 
     # -- pumps ---------------------------------------------------------------
 
@@ -170,20 +176,24 @@ class DisplayDaemon:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 5.0) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             renderers = list(self._renderers)
             displays = list(self._displays)
+            threads = list(self._threads)
+            self._threads = []
         for conn in renderers:
             conn.close()
         for port in displays:
             port.shutdown()
             port.conn.close()
-        for t in self._threads:
-            t.join(timeout=5.0)
+        # bounded join of every pump so tests never leak threads between
+        # cases; a pump that outlives the timeout is a bug worth seeing
+        for t in threads:
+            t.join(timeout=join_timeout)
 
     def __enter__(self) -> "DisplayDaemon":
         return self

@@ -13,7 +13,11 @@ The returned endpoints implement the :class:`FramedConnection` interface
 (``send``/``recv``/``close`` + traffic log), so
 :class:`~repro.daemon.renderer_interface.RendererInterface` and
 :class:`~repro.daemon.display_interface.DisplayInterface` work over TCP
-unchanged via their ``connection=`` hook.
+unchanged via their ``connection=`` hook.  Like the in-process
+endpoints, a :class:`TcpConnection` retransmits
+:class:`~repro.net.transport.TransientNetworkError` failures under its
+:class:`~repro.net.transport.RetryPolicy` and honours a per-operation
+``op_timeout`` default.
 """
 
 from __future__ import annotations
@@ -21,10 +25,16 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 
 from repro.daemon.display_daemon import DisplayDaemon
 from repro.daemon.protocol import HelloMessage, decode_message
-from repro.net.transport import ChannelClosed, TrafficLog
+from repro.net.transport import (
+    ChannelClosed,
+    RetryPolicy,
+    TrafficLog,
+    TransientNetworkError,
+)
 
 __all__ = ["TcpConnection", "TcpDaemonServer", "connect_daemon"]
 
@@ -36,24 +46,63 @@ class TcpConnection:
     """A framed byte connection over a TCP socket.
 
     Wire format: ``u32be length | payload`` per frame.  Thread-safe for
-    one sender + one receiver.
+    one sender + one receiver.  ``op_timeout`` (seconds) bounds any
+    ``send``/``recv`` that does not pass an explicit timeout; ``retry``
+    retransmits transient failures with exponential backoff.
     """
 
-    def __init__(self, sock: socket.socket, name: str = ""):
+    def __init__(
+        self,
+        sock: socket.socket,
+        name: str = "",
+        retry: RetryPolicy | None = None,
+        op_timeout: float | None = None,
+    ):
         self._sock = sock
         self.name = name
+        self.retry = retry or RetryPolicy()
+        self.op_timeout = op_timeout
         self.traffic = TrafficLog()
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._closed = False
 
-    def send(self, frame: bytes) -> None:
+    def _retrying(self, op, what: str):
+        attempts = self.retry.max_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return op()
+            except TransientNetworkError as exc:
+                if attempt >= attempts:
+                    raise ChannelClosed(
+                        f"{what} failed after {attempts} attempts: {exc}"
+                    ) from exc
+                self.traffic.retransmits += 1
+                time.sleep(self.retry.delay_before(attempt))
+
+    def _send_raw(self, frame: bytes, timeout: float | None) -> None:
         header = _LEN.pack(len(frame))
         try:
             with self._send_lock:
-                self._sock.sendall(header + frame)
+                if timeout is None:
+                    self._sock.sendall(header + frame)
+                else:
+                    # scoped socket timeout; restored so a concurrent
+                    # receiver's settimeout is the steady state
+                    self._sock.settimeout(timeout)
+                    try:
+                        self._sock.sendall(header + frame)
+                    finally:
+                        self._sock.settimeout(None)
+        except socket.timeout:
+            raise TimeoutError("tcp send timed out") from None
         except OSError as exc:
             raise ChannelClosed(f"tcp send failed: {exc}") from exc
+
+    def send(self, frame: bytes, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self.op_timeout
+        self._retrying(lambda: self._send_raw(frame, timeout), "send")
         self.traffic.sent.append(len(frame))
 
     def _recv_exact(self, n: int, timeout: float | None) -> bytes:
@@ -76,13 +125,18 @@ class TcpConnection:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def recv(self, timeout: float | None = None) -> bytes:
+    def _recv_raw(self, timeout: float | None) -> bytes:
         with self._recv_lock:
             header = self._recv_exact(_LEN.size, timeout)
             (length,) = _LEN.unpack(header)
             if length > _MAX_FRAME:
                 raise ChannelClosed(f"tcp frame too large: {length}")
-            frame = self._recv_exact(length, timeout)
+            return self._recv_exact(length, timeout)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        if timeout is None:
+            timeout = self.op_timeout
+        frame = self._retrying(lambda: self._recv_raw(timeout), "recv")
         self.traffic.received.append(len(frame))
         return frame
 
@@ -101,24 +155,50 @@ class TcpDaemonServer:
 
     Every accepted connection must open with a ``HelloMessage``; the
     daemon then attaches it with the declared role exactly as it does
-    for in-process connections.
+    for in-process connections.  Handshakes that fail — dead peers,
+    malformed frames, a non-hello first message, or a rejected role —
+    are dropped and *counted* (``handshake_rejects`` /
+    ``reject_reasons``) instead of silently swallowed, so operator
+    stats distinguish "nobody connects" from "everybody is rejected".
     """
+
+    #: default grace period for a connecting peer to present its hello
+    HANDSHAKE_TIMEOUT_S = 10.0
 
     def __init__(
         self,
         daemon: DisplayDaemon | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        handshake_timeout_s: float | None = None,
     ):
         self.daemon = daemon if daemon is not None else DisplayDaemon()
+        self.handshake_timeout_s = (
+            self.HANDSHAKE_TIMEOUT_S
+            if handshake_timeout_s is None
+            else handshake_timeout_s
+        )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen()
         self.address: tuple[str, int] = self._listener.getsockname()
         self._closed = False
+        self._lock = threading.Lock()
+        #: peers dropped during the handshake, by failure class
+        self.reject_reasons: dict[str, int] = {}
+        self._handshake_threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
+
+    @property
+    def handshake_rejects(self) -> int:
+        with self._lock:
+            return sum(self.reject_reasons.values())
+
+    def _count_reject(self, reason: str) -> None:
+        with self._lock:
+            self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
 
     def _accept_loop(self) -> None:
         while not self._closed:
@@ -126,23 +206,43 @@ class TcpDaemonServer:
                 sock, peer = self._listener.accept()
             except OSError:
                 return
-            threading.Thread(
+            t = threading.Thread(
                 target=self._handshake, args=(sock, peer), daemon=True
-            ).start()
+            )
+            t.start()
+            with self._lock:
+                self._handshake_threads.append(t)
+                # drop finished handshakes so the list stays bounded
+                self._handshake_threads = [
+                    ht for ht in self._handshake_threads if ht.is_alive()
+                ]
 
     def _handshake(self, sock: socket.socket, peer) -> None:
         conn = TcpConnection(sock, name=f"peer-{peer[1]}")
+        # Only the failure modes a hostile/broken peer can cause are
+        # handled; anything else is a daemon bug and must surface.
         try:
-            hello = decode_message(conn.recv(timeout=10.0))
-        except Exception:
+            hello = decode_message(conn.recv(timeout=self.handshake_timeout_s))
+        except TimeoutError:
+            self._count_reject("hello_timeout")
+            conn.close()
+            return
+        except ChannelClosed:
+            self._count_reject("peer_closed")
+            conn.close()
+            return
+        except ValueError:  # ProtocolError and friends: malformed hello
+            self._count_reject("malformed_hello")
             conn.close()
             return
         if not isinstance(hello, HelloMessage):
+            self._count_reject("not_a_hello")
             conn.close()
             return
         try:
             self.daemon.connect(conn, role=hello.role, name=hello.name)
-        except ValueError:
+        except (ValueError, RuntimeError):  # unknown role / daemon closed
+            self._count_reject("bad_role")
             conn.close()
             return
         # Ack after registration so the peer knows frames/controls sent
@@ -152,13 +252,20 @@ class TcpDaemonServer:
         except ChannelClosed:
             pass
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 5.0) -> None:
         self._closed = True
         try:
             self._listener.close()
         except OSError:
             pass
         self.daemon.close()
+        # bounded joins so tests never leak accept/handshake threads
+        self._accept_thread.join(timeout=join_timeout)
+        with self._lock:
+            pending = list(self._handshake_threads)
+            self._handshake_threads = []
+        for t in pending:
+            t.join(timeout=join_timeout)
 
     def __enter__(self) -> "TcpDaemonServer":
         return self

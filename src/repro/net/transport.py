@@ -12,13 +12,22 @@ Long-running streaming sessions cross millions of frames, so the log
 keeps only a rolling window of individual sizes (:class:`SizeWindow`)
 while the byte/frame totals keep counting everything that ever crossed
 the connection.
+
+Resilience: every endpoint carries a :class:`RetryPolicy`.  A perfect
+in-process link never needs it, but a WAN-shaped link (see
+:mod:`repro.net.faults`) signals recoverable failures as
+:class:`TransientNetworkError`, and ``send``/``recv`` retransmit with
+exponential backoff before giving up with :class:`ChannelClosed`.
+Blocking is always bounded: ``send`` and ``recv`` both accept a
+per-operation timeout, and an endpoint-level ``op_timeout`` applies when
+a call does not pass one explicitly.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.sim.cluster import WanRoute
@@ -29,11 +38,54 @@ __all__ = [
     "TrafficLog",
     "SizeWindow",
     "ChannelClosed",
+    "TransientNetworkError",
+    "RetryPolicy",
 ]
 
 
 class ChannelClosed(ConnectionError):
     """The peer closed the connection."""
+
+
+class TransientNetworkError(ConnectionError):
+    """A recoverable link failure (lost packet, brief stall).
+
+    Raised by fault-injecting transports; the retry layer in
+    :class:`FramedConnection`/``TcpConnection`` retransmits these.  A
+    perfect link never raises it.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient link failures.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retransmission entirely.  The delay before attempt *k* (k >= 2) is
+    ``backoff_s * multiplier**(k-2)`` capped at ``max_backoff_s``.
+    """
+
+    max_attempts: int = 4
+    backoff_s: float = 0.002
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        return min(self.backoff_s * self.multiplier ** (attempt - 1),
+                   self.max_backoff_s)
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        return cls(max_attempts=1)
 
 
 class SizeWindow(list):
@@ -82,12 +134,14 @@ class TrafficLog:
 
     ``sent``/``received`` retain only the most recent ``window`` sizes;
     ``bytes_sent``/``bytes_received`` (and the ``frames_*`` counters)
-    aggregate over the whole connection lifetime.
+    aggregate over the whole connection lifetime.  ``retransmits``
+    counts transient-failure retries the resilience layer performed.
     """
 
     sent: SizeWindow | None = None
     received: SizeWindow | None = None
     window: int = SizeWindow.DEFAULT_WINDOW
+    retransmits: int = 0
 
     def __post_init__(self) -> None:
         self.sent = SizeWindow(self.sent or (), window=self.window)
@@ -120,69 +174,85 @@ class Channel:
     With ``maxsize > 0`` the channel is a bounded pipe: ``send`` blocks
     while the peer's backlog is full, which is how a slow consumer
     exerts backpressure on its pump thread.  Blocked senders and
-    receivers both wake promptly (and raise :class:`ChannelClosed`) when
-    either side closes, so pump threads always join.
+    receivers wake on a shared :class:`threading.Condition` — queue
+    space, frame arrival, and close all notify, so nobody burns CPU in a
+    poll loop and pump threads always join promptly.
     """
 
-    _CLOSE = object()
-    _POLL_S = 0.05
-
     def __init__(self, maxsize: int = 0):
-        self._q: queue.Queue = queue.Queue(maxsize=maxsize)
-        self._closed = threading.Event()
+        self._maxsize = maxsize
+        self._items: deque[bytes] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
 
-    def send(self, frame: bytes) -> None:
+    def send(self, frame: bytes, timeout: float | None = None) -> None:
         data = bytes(frame)
-        while True:
-            if self._closed.is_set():
-                raise ChannelClosed("send on closed channel")
-            try:
-                self._q.put(data, timeout=self._POLL_S)
-                return
-            except queue.Full:
-                continue
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ChannelClosed("send on closed channel")
+                if not self._maxsize or len(self._items) < self._maxsize:
+                    self._items.append(data)
+                    self._cond.notify_all()
+                    return
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("send timed out")
+                self._cond.wait(remaining)
 
     def recv(self, timeout: float | None = None) -> bytes:
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            step = self._POLL_S
-            if deadline is not None:
-                step = min(step, deadline - time.monotonic())
-                if step <= 0:
-                    raise TimeoutError("recv timed out")
-            try:
-                item = self._q.get(timeout=step)
-            except queue.Empty:
-                if self._closed.is_set():
-                    raise ChannelClosed("channel closed by peer") from None
-                continue
-            if item is self._CLOSE:
-                # leave the marker visible to any other blocked reader
-                self._requeue_close()
-                raise ChannelClosed("channel closed by peer")
-            return item
+        with self._cond:
+            while True:
+                if self._items:
+                    item = self._items.popleft()
+                    self._cond.notify_all()  # wake a blocked sender
+                    return item
+                if self._closed:
+                    raise ChannelClosed("channel closed by peer")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("recv timed out")
+                self._cond.wait(remaining)
 
     def close(self) -> None:
-        if not self._closed.is_set():
-            self._closed.set()
-            self._requeue_close()
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
-    def _requeue_close(self) -> None:
-        try:
-            self._q.put_nowait(self._CLOSE)
-        except queue.Full:
-            # a full bounded queue: readers drain the data items and then
-            # observe the closed flag on the next empty poll
-            pass
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
 
 class FramedConnection:
-    """A bidirectional framed connection endpoint with traffic logging."""
+    """A bidirectional framed connection endpoint with traffic logging.
 
-    def __init__(self, out_channel: Channel, in_channel: Channel, name: str = ""):
+    ``retry`` governs retransmission of :class:`TransientNetworkError`
+    failures (injected by WAN-shaped wrappers; a plain channel pair
+    never raises them).  ``op_timeout`` bounds any ``send``/``recv``
+    that does not pass an explicit timeout; ``None`` keeps the classic
+    block-until-closed behaviour.
+    """
+
+    def __init__(
+        self,
+        out_channel: Channel,
+        in_channel: Channel,
+        name: str = "",
+        retry: RetryPolicy | None = None,
+        op_timeout: float | None = None,
+    ):
         self._out = out_channel
         self._in = in_channel
         self.name = name
+        self.retry = retry or RetryPolicy()
+        self.op_timeout = op_timeout
         self.traffic = TrafficLog()
 
     @classmethod
@@ -194,12 +264,40 @@ class FramedConnection:
         ba = Channel(maxsize=maxsize)
         return cls(ab, ba, a_name), cls(ba, ab, b_name)
 
-    def send(self, frame: bytes) -> None:
-        self._out.send(frame)
+    # -- raw ops (override points for fault-injecting subclasses) -----------
+
+    def _send_raw(self, frame: bytes, timeout: float | None) -> None:
+        self._out.send(frame, timeout=timeout)
+
+    def _recv_raw(self, timeout: float | None) -> bytes:
+        return self._in.recv(timeout=timeout)
+
+    def _retrying(self, op, what: str):
+        """Run ``op`` under the retry policy, backing off on transients."""
+        attempts = self.retry.max_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return op()
+            except TransientNetworkError as exc:
+                if attempt >= attempts:
+                    raise ChannelClosed(
+                        f"{what} failed after {attempts} attempts: {exc}"
+                    ) from exc
+                self.traffic.retransmits += 1
+                time.sleep(self.retry.delay_before(attempt))
+
+    # -- public API ----------------------------------------------------------
+
+    def send(self, frame: bytes, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self.op_timeout
+        self._retrying(lambda: self._send_raw(frame, timeout), "send")
         self.traffic.sent.append(len(frame))
 
     def recv(self, timeout: float | None = None) -> bytes:
-        frame = self._in.recv(timeout=timeout)
+        if timeout is None:
+            timeout = self.op_timeout
+        frame = self._retrying(lambda: self._recv_raw(timeout), "recv")
         self.traffic.received.append(len(frame))
         return frame
 

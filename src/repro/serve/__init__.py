@@ -23,6 +23,7 @@ count (the ``bench_serve_fanout`` benchmark and ``make serve-smoke``).
 from repro.serve.broker import SessionBroker
 from repro.serve.cache import FrameCache
 from repro.serve.fanout import measure_fanout, run_fanout, synthetic_frames
+from repro.serve.faultrun import run_with_faults, sweep_faults
 from repro.serve.session import (
     AdaptiveQualityController,
     ServedFrame,
@@ -48,4 +49,6 @@ __all__ = [
     "measure_fanout",
     "run_fanout",
     "synthetic_frames",
+    "run_with_faults",
+    "sweep_faults",
 ]

@@ -12,6 +12,13 @@ the tier mix, never of the viewer count.
 Viewers join and leave at any time; a ``seek`` control replays the
 broker's recent raw-frame history from the requested frame id at the
 session's current tier (replays of cached tiers are pure cache hits).
+
+A viewer whose connection dies uncleanly (a WAN cut, an injected
+:class:`~repro.net.faults.FaultPlan` disconnect) is *resumable*: a
+rejoin under the same name continues the same logical session — the
+cumulative stats, the adaptive tier, and the stream position survive,
+and the broker replays its buffered history from the viewer's last
+acked frame so the resumed stream has no duplicated or skipped ids.
 """
 
 from __future__ import annotations
@@ -24,8 +31,14 @@ import numpy as np
 
 from repro.compress import Codec
 from repro.compress.context import CodecContext
-from repro.daemon.protocol import ControlMessage, FrameMessage, decode_message
-from repro.net.transport import ChannelClosed, FramedConnection
+from repro.daemon.protocol import (
+    ControlMessage,
+    FrameMessage,
+    ProtocolError,
+    decode_message,
+)
+from repro.net.faults import FaultPlan, FaultyConnection
+from repro.net.transport import ChannelClosed, FramedConnection, RetryPolicy
 from repro.serve.cache import FrameCache
 from repro.serve.session import (
     AdaptiveQualityController,
@@ -53,7 +66,7 @@ class SessionBroker:
         Adaptive-controller hysteresis (see
         :class:`~repro.serve.session.AdaptiveQualityController`).
     history_frames:
-        How many recent raw frames are kept for ``seek`` replay.
+        How many recent raw frames are kept for ``seek``/resume replay.
     """
 
     def __init__(
@@ -73,12 +86,17 @@ class SessionBroker:
         self.history_frames = history_frames
         self._sessions: dict[str, ViewerSession] = {}
         self._departed: list[SessionStats] = []
+        #: (stats, tier_index, last_acked) of unclean disconnects, by
+        #: name — consumed when the same name rejoins
+        self._resume: dict[str, tuple[SessionStats, int, int]] = {}
         self._encoders: dict[tuple[str, int | None], Codec] = {}
         self._encoder_context = CodecContext()
         self._encode_lock = threading.Lock()
         self._history: OrderedDict[int, tuple[int, np.ndarray]] = OrderedDict()
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
+        #: wakes drain() on ack arrival, session departure, and close
+        self._ack_cond = threading.Condition()
         self._closed = False
         self._session_counter = 0
         self._frame_counter = 0
@@ -86,26 +104,59 @@ class SessionBroker:
         #: encode invocations — with a warm cache this stays at
         #: (frames × tiers in use), independent of viewer count
         self.encodes = 0
+        #: control messages dropped for being malformed
+        self.malformed_controls = 0
+        #: sessions resumed after an unclean disconnect
+        self.resumes = 0
 
     # -- membership ---------------------------------------------------------
 
-    def join(self, name: str | None = None) -> ViewerHandle:
-        """Admit a viewer; returns its handle (viewer side of the pair)."""
+    def join(
+        self,
+        name: str | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        resume_from: int | None = None,
+    ) -> ViewerHandle:
+        """Admit a viewer; returns its handle (viewer side of the pair).
+
+        A name whose previous session died uncleanly *resumes*: the new
+        session inherits the old one's stats, tier, and stream cursor,
+        and buffered history is replayed from its last acked frame (or
+        from ``resume_from``, the rejoining client's own idea of the
+        next frame it needs — authoritative when acks were lost in
+        flight).  ``fault_plan`` wraps the broker side of the link in a
+        :class:`~repro.net.faults.FaultyConnection` so the session is
+        served over a WAN-shaped link.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("join() on a closed SessionBroker")
             if name is None:
                 name = f"viewer{self._session_counter}"
             self._session_counter += 1
-            if name in self._sessions:
-                raise ValueError(f"session {name!r} already joined")
+            existing = self._sessions.get(name)
+            if existing is not None:
+                if existing.active:
+                    raise ValueError(f"session {name!r} already joined")
+                # an unclean disconnect the pump has not reaped yet
+                self._sessions.pop(name)
+                self._resume.setdefault(
+                    name,
+                    (existing._stats, existing.tier_index, existing.last_acked),
+                )
+            resume = self._resume.pop(name, None)
             broker_side, viewer_side = FramedConnection.pair(
                 f"{name}-broker", f"{name}-viewer"
             )
+            conn = broker_side
+            if fault_plan is not None:
+                conn = FaultyConnection(broker_side, fault_plan, retry=retry)
             context = CodecContext()
             session = ViewerSession(
                 name,
-                broker_side,
+                conn,
                 self.ladder,
                 credit_limit=self.credit_limit,
                 controller=AdaptiveQualityController(
@@ -113,22 +164,63 @@ class SessionBroker:
                 ),
                 codec_context=context,
             )
+            if resume is not None:
+                stats, tier_index, last_acked = resume
+                start = last_acked + 1 if resume_from is None else resume_from
+                session.restore(
+                    stats=stats, tier_index=tier_index, last_acked=start - 1
+                )
+                self.resumes += 1
             self._sessions[name] = session
+            if resume is not None:
+                # replay under the lock: a concurrent publish can only
+                # deliver *after* the resumed stream has caught up, so
+                # the viewer sees history and live frames in order
+                self._replay_resume(session, session.position)
             t = threading.Thread(
                 target=self._pump_session, args=(session,), daemon=True
             )
             t.start()
             self._threads.append(t)
-        return ViewerHandle(name, viewer_side, context)
+        return ViewerHandle(
+            name, viewer_side, context, resumed=resume is not None
+        )
 
-    def leave(self, name: str) -> None:
-        """Detach a session broker-side (viewers normally send ``leave``)."""
+    def leave(
+        self,
+        name: str,
+        *,
+        resumable: bool = False,
+        _expected: ViewerSession | None = None,
+    ) -> None:
+        """Detach a session broker-side (viewers normally send ``leave``).
+
+        ``resumable`` marks an *unclean* departure — a dead connection
+        rather than a polite leave — whose state is parked so a rejoin
+        under the same name continues the stream.  ``_expected`` guards
+        internal callers reacting to a dead connection: a stale pump or
+        delivery thread must not reap a *replacement* session that has
+        since resumed under the same name.
+        """
         with self._lock:
-            session = self._sessions.pop(name, None)
-        if session is not None:
-            session.deactivate()
-            self._departed.append(session.stats_snapshot())
-            session.conn.close()
+            session = self._sessions.get(name)
+            if session is None or (
+                _expected is not None and session is not _expected
+            ):
+                return
+            self._sessions.pop(name)
+        session.deactivate()
+        snapshot = session.stats_snapshot()
+        with self._lock:
+            self._departed.append(snapshot)
+            if resumable:
+                self._resume.setdefault(
+                    name, (session._stats, session.tier_index, session.last_acked)
+                )
+            else:
+                self._resume.pop(name, None)
+        session.conn.close()
+        self._notify_drain()
 
     def sessions(self) -> list[str]:
         with self._lock:
@@ -159,7 +251,7 @@ class SessionBroker:
             sessions = list(self._sessions.values())
             self.frames_published += 1
         for session in sessions:
-            self._deliver(session, frame_id, time_step, image)
+            self._deliver(session, frame_id, time_step, image, from_publish=True)
         return frame_id
 
     def _deliver(
@@ -168,7 +260,10 @@ class SessionBroker:
         frame_id: int,
         time_step: int,
         image: np.ndarray,
+        from_publish: bool = False,
     ) -> str:
+        if from_publish and session.pop_resume_guard(frame_id):
+            return "duplicate"  # resume replay already covered this id
         tier = self.ladder[session.tier_index]
         if not tier.admits(frame_id):
             session.mark_skipped()
@@ -183,7 +278,7 @@ class SessionBroker:
         )
         outcome = session.offer(msg)
         if outcome == "closed":
-            self.leave(session.name)
+            self.leave(session.name, resumable=True, _expected=session)
         return outcome
 
     def _payload(
@@ -208,22 +303,50 @@ class SessionBroker:
 
     # -- session control pump ----------------------------------------------
 
+    @staticmethod
+    def _valid_frame_id(value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def _note_malformed(self) -> None:
+        with self._lock:
+            self.malformed_controls += 1
+
     def _pump_session(self, session: ViewerSession) -> None:
-        """Viewer → broker: acks return credits; seek/leave are honored."""
+        """Viewer → broker: acks return credits; seek/leave are honored.
+
+        Malformed traffic — undecodable frames, non-control messages,
+        controls with a missing or bogus ``frame_id`` — is dropped and
+        counted, never fed into the credit machinery.
+        """
         while True:
             try:
-                msg = decode_message(session.conn.recv())
+                raw = session.conn.recv()
             except (ChannelClosed, TimeoutError):
-                session.deactivate()
+                self.leave(session.name, resumable=True, _expected=session)
                 return
+            try:
+                msg = decode_message(raw)
+            except ProtocolError:
+                self._note_malformed()
+                continue
             if not isinstance(msg, ControlMessage):
+                self._note_malformed()
                 continue
             if msg.tag == "ack":
-                session.on_ack(int(msg.params.get("frame_id", -1)))
+                frame_id = msg.params.get("frame_id")
+                if not self._valid_frame_id(frame_id):
+                    self._note_malformed()
+                    continue
+                session.on_ack(frame_id)
+                self._notify_drain()
             elif msg.tag == "seek":
-                self._replay(session, int(msg.params.get("frame_id", 0)))
+                frame_id = msg.params.get("frame_id", 0)
+                if not self._valid_frame_id(frame_id):
+                    self._note_malformed()
+                    continue
+                self._replay(session, frame_id)
             elif msg.tag == "leave":
-                self.leave(session.name)
+                self.leave(session.name, _expected=session)
                 return
 
     def _replay(self, session: ViewerSession, from_frame: int) -> None:
@@ -237,12 +360,47 @@ class SessionBroker:
         for fid, ts, img in window:
             self._deliver(session, fid, ts, img)
 
+    def _replay_resume(self, session: ViewerSession, from_frame: int) -> None:
+        """Resume replay; caller holds ``self._lock``.
+
+        Inlines delivery (no :meth:`leave` — that needs the lock) and
+        arms the session's resume guard with every replayed id so a
+        publish racing the rejoin cannot deliver one of them twice.
+        """
+        window = [
+            (fid, ts, img)
+            for fid, (ts, img) in self._history.items()
+            if fid >= from_frame
+        ]
+        session.arm_resume_guard(fid for fid, _, _ in window)
+        for fid, ts, img in window:
+            tier = self.ladder[session.tier_index]
+            if not tier.admits(fid):
+                session.mark_skipped()
+                continue
+            payload = self._payload(fid, tier, img)
+            session.offer(
+                FrameMessage(
+                    frame_id=fid,
+                    time_step=ts,
+                    codec=tier.codec,
+                    payload=payload,
+                    image_shape=(img.shape[0], img.shape[1]),
+                )
+            )
+
+    def _notify_drain(self) -> None:
+        with self._ack_cond:
+            self._ack_cond.notify_all()
+
     # -- observability ------------------------------------------------------
 
     def stats(self) -> ServeStats:
         with self._lock:
             live = [s.stats_snapshot() for s in self._sessions.values()]
             departed = list(self._departed)
+            malformed = self.malformed_controls
+            resumes = self.resumes
         snapshot = ServeStats(
             sessions={s.name: s for s in departed + live},
             frames_published=self.frames_published,
@@ -252,24 +410,34 @@ class SessionBroker:
             cache_evictions=self.cache.evictions,
             cache_bytes=self.cache.current_bytes,
             cache_entries=len(self.cache),
+            malformed_controls=malformed,
+            resumes=resumes,
         )
         return snapshot
 
     def drain(self, timeout: float = 5.0, names: list[str] | None = None) -> bool:
         """Wait until the given sessions (default: all) have zero frames
-        in flight.  Pass ``names`` to exclude deliberately slow viewers."""
+        in flight.  Pass ``names`` to exclude deliberately slow viewers.
+
+        Event-driven: sleeps on a condition the ack pump notifies, so an
+        idle drain costs no CPU and wakes the instant the last credit
+        returns.
+        """
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            with self._lock:
-                sessions = [
-                    s
-                    for s in self._sessions.values()
-                    if names is None or s.name in names
-                ]
-            if all(s.in_flight == 0 or not s.active for s in sessions):
-                return True
-            time.sleep(0.002)
-        return False
+        with self._ack_cond:
+            while True:
+                with self._lock:
+                    sessions = [
+                        s
+                        for s in self._sessions.values()
+                        if names is None or s.name in names
+                    ]
+                if all(s.in_flight == 0 or not s.active for s in sessions):
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ack_cond.wait(remaining)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -285,6 +453,7 @@ class SessionBroker:
             session.deactivate()
             self._departed.append(session.stats_snapshot())
             session.conn.close()
+        self._notify_drain()
         for t in threads:
             t.join(timeout=5.0)
 

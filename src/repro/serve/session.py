@@ -95,8 +95,47 @@ class ViewerSession:
         self.active = True
         #: resume point for seek(): next frame id the viewer wants
         self.position = 0
+        #: highest frame id the viewer has acknowledged consuming
+        self.last_acked = -1
+        #: frame ids replayed at resume time; a concurrent publish of
+        #: one of these is a duplicate and must be suppressed (one-shot)
+        self._resume_guard: set[int] = set()
         self._lock = threading.Lock()
         self._stats = SessionStats(name=name, tier=ladder[0].name)
+
+    # -- reconnect/resume ----------------------------------------------------
+
+    def restore(self, *, stats: SessionStats, tier_index: int,
+                last_acked: int) -> None:
+        """Carry state across a reconnect of the same logical viewer:
+        cumulative counters, the adaptive tier, and the resume cursor."""
+        with self._lock:
+            stats.active = True
+            stats.reconnects += 1
+            self._stats = stats
+            self.tier_index = self.ladder.clamp(tier_index)
+            self._stats.tier = self.ladder[self.tier_index].name
+            self.last_acked = last_acked
+            self.position = last_acked + 1
+
+    def arm_resume_guard(self, frame_ids) -> None:
+        """Mark ``frame_ids`` as covered by the resume replay."""
+        with self._lock:
+            self._resume_guard.update(frame_ids)
+
+    def pop_resume_guard(self, frame_id: int) -> bool:
+        """True (once) if ``frame_id`` was already replayed at resume —
+        the publish racing the rejoin must not deliver it twice."""
+        with self._lock:
+            if not self._resume_guard:
+                return False
+            if frame_id in self._resume_guard:
+                self._resume_guard.discard(frame_id)
+                return True
+            if frame_id > max(self._resume_guard):
+                # the stream moved past the replay window: disarm
+                self._resume_guard.clear()
+            return False
 
     # -- delivery ----------------------------------------------------------
 
@@ -136,6 +175,7 @@ class ViewerSession:
         """A credit came back: the viewer consumed ``frame_id``."""
         with self._lock:
             self.in_flight = max(0, self.in_flight - 1)
+            self.last_acked = max(self.last_acked, frame_id)
             self._stats.acks += 1
             self._apply_delta(self.controller.on_ack(), frame_id, "recovered")
 
@@ -181,6 +221,7 @@ class ViewerSession:
                 transitions=list(self._stats.transitions),
                 decode_context_hit_ratio=self.codec_context.hit_ratio(),
                 active=self.active,
+                reconnects=self._stats.reconnects,
             )
         return snap
 
@@ -206,13 +247,15 @@ class ViewerHandle:
     """
 
     def __init__(self, name: str, conn: FramedConnection,
-                 codec_context: CodecContext):
+                 codec_context: CodecContext, resumed: bool = False):
         self.name = name
         self.conn = conn
         self.codec_context = codec_context
         self._codecs: dict[str, Codec] = {}
         #: most recent tier the broker told us we are watching
         self.current_tier: str | None = None
+        #: True when this handle continues an earlier session's stream
+        self.resumed = resumed
         self._closed = False
 
     def _decoder(self, name: str) -> Codec:

@@ -37,6 +37,8 @@ class SessionStats:
     transitions: list[TierTransition] = field(default_factory=list)
     decode_context_hit_ratio: float = 0.0
     active: bool = True
+    #: times this logical session reconnected and resumed its stream
+    reconnects: int = 0
 
     @property
     def drop_ratio(self) -> float:
@@ -56,6 +58,11 @@ class ServeStats:
     cache_evictions: int = 0
     cache_bytes: int = 0
     cache_entries: int = 0
+    #: control messages dropped because they were malformed (bad or
+    #: missing frame_id, non-control traffic from a viewer)
+    malformed_controls: int = 0
+    #: sessions that reconnected and resumed from their last acked frame
+    resumes: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:

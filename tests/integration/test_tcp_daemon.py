@@ -105,6 +105,83 @@ class TestTcpTransport:
             conn.recv(timeout=0.5)
 
 
+class TestHandshakeRejects:
+    """Broken or hostile peers are dropped and counted, never crash the
+    accept loop, and never register with the daemon."""
+
+    def _wait_reject(self, server, reason, n=1, deadline_s=5.0):
+        deadline = time.time() + deadline_s
+        while time.time() < deadline:
+            if server.reject_reasons.get(reason, 0) >= n:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def test_malformed_hello_counted(self, server):
+        import socket as socket_mod
+
+        sock = socket_mod.create_connection(server.address, timeout=5)
+        conn = TcpConnection(sock)
+        conn.send(b"this is not a protocol message")
+        assert self._wait_reject(server, "malformed_hello")
+        conn.close()
+
+    def test_non_hello_first_message_counted(self, server):
+        import socket as socket_mod
+
+        from repro.daemon.protocol import ControlMessage
+
+        sock = socket_mod.create_connection(server.address, timeout=5)
+        conn = TcpConnection(sock)
+        conn.send(ControlMessage(tag="view", params={}).encode())
+        assert self._wait_reject(server, "not_a_hello")
+        conn.close()
+
+    def test_unknown_role_counted(self, server):
+        import socket as socket_mod
+
+        from repro.daemon.protocol import HelloMessage
+
+        sock = socket_mod.create_connection(server.address, timeout=5)
+        conn = TcpConnection(sock)
+        conn.send(HelloMessage(role="spectator", name="x").encode())
+        assert self._wait_reject(server, "bad_role")
+        conn.close()
+
+    def test_silent_peer_times_out(self):
+        import socket as socket_mod
+
+        with TcpDaemonServer(handshake_timeout_s=0.2) as srv:
+            sock = socket_mod.create_connection(srv.address, timeout=5)
+            assert self._wait_reject(srv, "hello_timeout")
+            sock.close()
+
+    def test_peer_that_hangs_up_counted(self, server):
+        import socket as socket_mod
+
+        sock = socket_mod.create_connection(server.address, timeout=5)
+        sock.close()
+        assert self._wait_reject(server, "peer_closed")
+
+    def test_good_peer_still_admitted_after_rejects(self, server):
+        import socket as socket_mod
+
+        sock = socket_mod.create_connection(server.address, timeout=5)
+        conn = TcpConnection(sock)
+        conn.send(b"garbage")
+        assert self._wait_reject(server, "malformed_hello")
+        good = connect_daemon(server.address, "display")
+        assert server.handshake_rejects == 1
+        good.close()
+        conn.close()
+
+    def test_close_joins_accept_thread(self):
+        srv = TcpDaemonServer()
+        accept_thread = srv._accept_thread
+        srv.close()
+        assert not accept_thread.is_alive()
+
+
 class TestFraming:
     def test_interface_requires_exactly_one_attachment(self):
         with pytest.raises(ValueError):
