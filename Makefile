@@ -2,13 +2,29 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
+.PHONY: help install test lint bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
+
+help:
+	@echo "install      pip install -e ."
+	@echo "test         full test suite"
+	@echo "lint         concurrency/protocol lint pass + lint-marked tests"
+	@echo "bench        full benchmark suite"
+	@echo "bench-smoke  fast perf guardrails (decode, serve, faults)"
+	@echo "reproduce    regenerate the paper-reproduction report"
+	@echo "examples     run every example script"
+	@echo "clean        remove build/test artifacts"
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+
+# Repo-specific static checks (rule catalogue in docs/devtools.md) plus
+# the tests that pin the rules and the lock-order detector themselves.
+lint:
+	PYTHONPATH=src $(PY) -m repro lint src tests
+	PYTHONPATH=src $(PY) -m pytest tests/ -m lint
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -8,7 +8,8 @@ Commands mirror the workflows a user of the paper's system would run:
 - ``codecs``    compare codecs on a rendered frame (Table 1 workflow);
 - ``simulate``  one pipeline configuration on a modeled machine;
 - ``serve``     fan one rendered sequence out to N adaptive viewers;
-- ``faults``    serve over a WAN-shaped link with injected faults.
+- ``faults``    serve over a WAN-shaped link with injected faults;
+- ``lint``      run the repo's concurrency/protocol lint pass.
 """
 
 from __future__ import annotations
@@ -162,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between published frames")
     p.add_argument("--credits", type=int, default=8)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the concurrency/protocol lint pass (see docs/devtools.md)",
+    )
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 
@@ -417,6 +428,15 @@ def cmd_faults(args) -> int:
               f"{s['transitions']:>7}{s['reconnects']:>8}"
               f"{s['observed_duplicates']:>6}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.devtools import lint
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint.main(argv)
 
 
 def main(argv: list[str] | None = None) -> int:

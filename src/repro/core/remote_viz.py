@@ -127,6 +127,9 @@ class RemoteVisualizationSession:
         self.display = DisplayInterface(self.daemon)
         self._next_frame_id = 0
         self._closed = False
+        #: control messages whose tag is not in the protocol registry —
+        #: dropped, never silently absorbed into the render parameters
+        self.unknown_controls = 0
 
     # -- rendering ------------------------------------------------------------
 
@@ -151,7 +154,14 @@ class RemoteVisualizationSession:
                     positions=tuple(msg.params["positions"]),
                     colors=tuple(tuple(c) for c in msg.params["colors"]),
                 )
-            # set_codec is handled inside the renderer interface
+            else:
+                # registered tags owned by other layers (set_codec is
+                # applied inside the renderer interface) pass through;
+                # anything unregistered is counted, not absorbed
+                from repro.daemon.protocol import CONTROL_TAGS
+
+                if msg.tag not in CONTROL_TAGS:
+                    self.unknown_controls += 1
 
     def render_step(self, t: int) -> np.ndarray:
         """Render time step ``t`` to a display-ready uint8 RGB image."""

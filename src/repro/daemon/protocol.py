@@ -23,12 +23,36 @@ __all__ = [
     "HelloMessage",
     "decode_message",
     "ProtocolError",
+    "MESSAGE_KINDS",
+    "CONTROL_TAGS",
 ]
 
 _MAGIC = b"RVIZ"
 _KIND_FRAME = 1
 _KIND_CONTROL = 2
 _KIND_HELLO = 3
+
+#: every control ``tag`` any endpoint sends or dispatches on.  The
+#: devtools lint pass (rule DT501) checks each ``msg.tag == "..."``
+#: comparison in the codebase against this registry, so a typo'd or
+#: unregistered opcode is a lint error, not a silently ignored message.
+CONTROL_TAGS: frozenset[str] = frozenset(
+    {
+        # viewer -> broker delivery control
+        "ack",
+        "seek",
+        "leave",
+        # broker -> viewer notifications
+        "tier",
+        # user controls (§5 remote callbacks)
+        "view",
+        "zoom",
+        "projection",
+        "colormap",
+        "set_codec",
+        "start_renderer",
+    }
+)
 
 
 class ProtocolError(ValueError):
@@ -170,3 +194,13 @@ def decode_message(frame: bytes | memoryview, *, copy: bool = True) -> Message:
     if kind == _KIND_HELLO:
         return HelloMessage(role=header["role"], name=header.get("name", ""))
     raise ProtocolError(f"unknown message kind {kind}")
+
+
+#: wire kind -> message class, the registry decode_message dispatches
+#: over.  Adding a message kind means adding it here; the devtools lint
+#: pass cross-checks kind-dispatch sites against this mapping.
+MESSAGE_KINDS: dict[int, type[Message]] = {
+    _KIND_FRAME: FrameMessage,
+    _KIND_CONTROL: ControlMessage,
+    _KIND_HELLO: HelloMessage,
+}

@@ -255,6 +255,12 @@ class TcpDaemonServer:
     def close(self, join_timeout: float = 5.0) -> None:
         self._closed = True
         try:
+            # shutdown, not just close: closing the fd does not wake a
+            # thread already blocked in accept(2); shutdown does
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._listener.close()
         except OSError:
             pass

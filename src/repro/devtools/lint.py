@@ -1,0 +1,465 @@
+"""AST-based lint pass with repo-specific concurrency/protocol rules.
+
+The general-purpose linters this repo could run do not know its
+conventions: that every swallowed exception must be counted (the
+handshake-reject pattern from the TCP daemon), that polling loops must
+sleep on an ``Event``/``Condition`` rather than busy-wait, that the
+deterministic fault/codec paths must never read the wall clock or the
+global RNG, and that control-message dispatch must stay in sync with
+:data:`repro.daemon.protocol.CONTROL_TAGS`.  This module encodes those
+conventions as checkable rules:
+
+==========  ============================================================
+rule        meaning
+==========  ============================================================
+``DT101``   bare/broad ``except`` that neither re-raises nor accounts
+            for the error (counter increment / recorded reject)
+``DT201``   ``time.sleep`` inside a ``while`` loop — a busy-wait poll;
+            wait on a ``Condition``/``Event`` instead
+``DT301``   ``threading.Thread(...)`` with no ``daemon=`` keyword and no
+            ``.join(...)`` in the enclosing scope — a leak-by-default
+``DT401``   wall-clock or global-RNG call (``time.time``, ``random.*``,
+            ``np.random.*``) inside a deterministic fault/codec path
+``DT501``   dispatch on a control ``tag`` literal that is not in the
+            protocol registry (typo'd or unregistered opcode)
+``DT502``   an ``if/elif`` chain over ``.tag`` with no ``else`` — the
+            dispatch silently ignores unknown opcodes
+``DT601``   mutable default argument (list/dict/set literal or call)
+==========  ============================================================
+
+Escape hatch: append ``# lint: disable=DT201`` (comma-separated ids, or
+``all``) to the offending line.  Run with ``repro lint [paths...]`` or
+``make lint``; exit status is non-zero when findings remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Finding", "RULES", "lint_source", "lint_paths", "main"]
+
+RULES: dict[str, str] = {
+    "DT101": "broad except without re-raise or accounting counter",
+    "DT201": "time.sleep busy-wait inside a while loop",
+    "DT301": "threading.Thread without daemon= or a join in scope",
+    "DT401": "wall clock / global RNG in a deterministic path",
+    "DT501": "control tag not in the protocol registry",
+    "DT502": "tag dispatch chain without an else fallback",
+    "DT601": "mutable default argument",
+}
+
+#: modules whose behaviour must be a pure function of their inputs and
+#: seeds: the fault injector (reproducible WAN traces) and the codecs
+#: (golden-bytes format stability).  DT401 applies only here.
+DETERMINISTIC_PATH_MARKERS = ("repro/compress/", "repro/net/faults.py")
+
+#: directories never linted (fixture corpus deliberately violates rules)
+EXCLUDED_DIR_NAMES = {"lint_fixtures", "__pycache__", ".git", ".pytest_cache"}
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+}
+_SEEDED_RNG_CTORS = {
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+}
+_MUTABLE_CTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.deque",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+}
+#: call names that count as "accounting for" a swallowed exception
+_ACCOUNTING_HINTS = ("count", "note", "record", "reject", "log")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:  # "path:line: DTxxx message" (editor-clickable)
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _control_tags() -> frozenset[str]:
+    from repro.daemon.protocol import CONTROL_TAGS
+
+    return CONTROL_TAGS
+
+
+def _disabled_lines(source: str) -> dict[int, set[str]]:
+    """line -> rule ids disabled there, parsed from real comment tokens."""
+    disabled: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _PRAGMA_RE.search(tok.string)
+            if m:
+                ids = {part.strip().upper() for part in m.group(1).split(",")}
+                disabled.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # syntax trouble surfaces as the ast.parse error instead
+    return disabled
+
+
+class _Analyzer:
+    """One file's lint pass: builds parent links, resolves import
+    aliases to canonical dotted names, then applies every rule."""
+
+    def __init__(self, tree: ast.Module, path: str,
+                 deterministic: bool | None = None):
+        self.tree = tree
+        self.path = path
+        self.findings: list[Finding] = []
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.aliases = self._collect_aliases()
+        if deterministic is None:
+            deterministic = any(
+                marker in Path(path).as_posix()
+                for marker in DETERMINISTIC_PATH_MARKERS
+            )
+        self.deterministic = deterministic
+
+    # -- name resolution -----------------------------------------------------
+
+    def _collect_aliases(self) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.asname:
+                        aliases[a.asname] = a.name
+                    else:  # `import x.y` binds the root name `x`
+                        root = a.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for a in node.names:
+                    aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+        # conventional alias even without an import statement in scope
+        aliases.setdefault("np", "numpy")
+        return aliases
+
+    def _dotted(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(path=self.path, line=node.lineno, rule=rule, message=message)
+        )
+
+    def _enclosing(self, node: ast.AST, kinds) -> ast.AST | None:
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, kinds):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    # -- rules ---------------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ExceptHandler):
+                self._check_broad_except(node)
+            elif isinstance(node, ast.Call):
+                self._check_sleep_poll(node)
+                self._check_thread_join(node)
+                if self.deterministic:
+                    self._check_wallclock(node)
+            elif isinstance(node, ast.Compare):
+                self._check_tag_literal(node)
+            elif isinstance(node, ast.If):
+                self._check_tag_chain(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_mutable_defaults(node)
+        return self.findings
+
+    # DT101 ------------------------------------------------------------------
+
+    def _is_broad_type(self, node: ast.AST | None) -> bool:
+        if node is None:
+            return True  # bare except
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad_type(el) for el in node.elts)
+        return self._dotted(node) in ("Exception", "BaseException")
+
+    def _accounts_for_error(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, (ast.Raise, ast.AugAssign)):
+                return True
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name and (
+                    name == "append"
+                    or any(hint in name.lower() for hint in _ACCOUNTING_HINTS)
+                ):
+                    return True
+        return False
+
+    def _check_broad_except(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad_type(node.type) and not self._accounts_for_error(node):
+            what = "bare except" if node.type is None else "broad except"
+            self._report(
+                node,
+                "DT101",
+                f"{what} that neither re-raises nor accounts for the error; "
+                "narrow the exception or count it "
+                "(handshake-reject pattern: see TcpDaemonServer._handshake)",
+            )
+
+    # DT201 ------------------------------------------------------------------
+
+    def _check_sleep_poll(self, node: ast.Call) -> None:
+        if self._dotted(node.func) != "time.sleep":
+            return
+        cur = self.parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            if isinstance(cur, ast.While):
+                self._report(
+                    node,
+                    "DT201",
+                    "time.sleep inside a while loop is a busy-wait poll; "
+                    "wait on a threading.Event/Condition with a timeout",
+                )
+                return
+            cur = self.parents.get(cur)
+
+    # DT301 ------------------------------------------------------------------
+
+    def _check_thread_join(self, node: ast.Call) -> None:
+        if self._dotted(node.func) != "threading.Thread":
+            return
+        if any(kw.arg == "daemon" for kw in node.keywords):
+            return
+        scope = self._enclosing(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) or self.tree
+        for other in ast.walk(scope):
+            if (
+                isinstance(other, ast.Call)
+                and isinstance(other.func, ast.Attribute)
+                and other.func.attr == "join"
+            ):
+                return
+        self._report(
+            node,
+            "DT301",
+            "thread spawned without daemon= and never joined in this "
+            "scope; pass daemon=True or join it on shutdown",
+        )
+
+    # DT401 ------------------------------------------------------------------
+
+    def _check_wallclock(self, node: ast.Call) -> None:
+        name = self._dotted(node.func)
+        if name is None:
+            return
+        offending = (
+            name in _WALLCLOCK_CALLS
+            or (
+                (name.startswith("random.") or name.startswith("numpy.random."))
+                and name not in _SEEDED_RNG_CTORS
+            )
+        )
+        if offending:
+            self._report(
+                node,
+                "DT401",
+                f"{name} in a deterministic fault/codec path; use a seeded "
+                "random.Random/np.random.default_rng or take time as input",
+            )
+
+    # DT501 ------------------------------------------------------------------
+
+    @staticmethod
+    def _tag_compare(node: ast.Compare) -> str | None:
+        """The string literal of a ``<expr>.tag == "..."`` compare."""
+        if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
+            return None
+        left, right = node.left, node.comparators[0]
+        for attr, lit in ((left, right), (right, left)):
+            if (
+                isinstance(attr, ast.Attribute)
+                and attr.attr == "tag"
+                and isinstance(lit, ast.Constant)
+                and isinstance(lit.value, str)
+            ):
+                return lit.value
+        return None
+
+    def _check_tag_literal(self, node: ast.Compare) -> None:
+        tag = self._tag_compare(node)
+        if tag is not None and tag not in _control_tags():
+            self._report(
+                node,
+                "DT501",
+                f"control tag {tag!r} is not in "
+                "repro.daemon.protocol.CONTROL_TAGS; register it or fix "
+                "the typo",
+            )
+
+    # DT502 ------------------------------------------------------------------
+
+    def _test_is_tag_dispatch(self, test: ast.AST) -> bool:
+        return any(
+            isinstance(n, ast.Compare) and self._tag_compare(n) is not None
+            for n in ast.walk(test)
+        )
+
+    def _check_tag_chain(self, node: ast.If) -> None:
+        parent = self.parents.get(node)
+        if isinstance(parent, ast.If) and parent.orelse == [node]:
+            return  # not the head of the chain
+        branches = 0
+        cur: ast.AST = node
+        while isinstance(cur, ast.If):
+            if self._test_is_tag_dispatch(cur.test):
+                branches += 1
+            if len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
+                cur = cur.orelse[0]
+            else:
+                break
+        if branches >= 2 and isinstance(cur, ast.If) and not cur.orelse:
+            self._report(
+                node,
+                "DT502",
+                "tag dispatch chain has no else fallback: unknown opcodes "
+                "are silently ignored; count or reject them explicitly",
+            )
+
+    # DT601 ------------------------------------------------------------------
+
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and self._dotted(default.func) in _MUTABLE_CTORS
+            )
+            if mutable:
+                self._report(
+                    default,
+                    "DT601",
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+
+def lint_source(source: str, path: str = "<string>",
+                deterministic: bool | None = None) -> list[Finding]:
+    """Lint one source string; returns findings not pragma-disabled.
+
+    ``deterministic`` forces DT401 on/off; ``None`` derives it from
+    ``path`` against :data:`DETERMINISTIC_PATH_MARKERS`.
+    """
+    tree = ast.parse(source, filename=path)
+    disabled = _disabled_lines(source)
+    findings = _Analyzer(tree, path, deterministic=deterministic).run()
+    kept = []
+    for f in findings:
+        ids = disabled.get(f.line, set())
+        if f.rule in ids or "ALL" in ids:
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def _iter_python_files(paths: list[str | Path]):
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            yield p
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if not EXCLUDED_DIR_NAMES.intersection(sub.parts):
+                    yield sub
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint every ``.py`` under ``paths`` (fixture corpora excluded)."""
+    findings: list[Finding] = []
+    for path in _iter_python_files(paths):
+        findings.extend(lint_source(path.read_text(), str(path)))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific concurrency/protocol lint pass",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint (default: src tests)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return 0
+    findings = lint_paths(args.paths)
+    for f in findings:
+        print(f)
+    n_files = sum(1 for _ in _iter_python_files(args.paths))
+    if findings:
+        print(f"\n{len(findings)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"clean: {n_files} file(s), 0 findings")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,552 @@
+"""Runtime lock-order and thread-leak detection for the serving stack.
+
+Static rules cannot see the dynamic acquisition order of locks, so this
+module instruments it: :class:`LockTracer` swaps
+``threading.Lock``/``RLock``/``Condition`` for traced wrappers that
+record, per thread, the **held -> acquired** edge set of every blocking
+acquisition.  A cycle in that graph is a lock-order inversion — two
+threads that interleave badly will deadlock — and is reported *without*
+needing the unlucky schedule to actually happen: one thread taking
+``A`` then ``B`` and another (or the same) taking ``B`` then ``A`` at
+any point during the traced window is enough.
+
+Locks are aggregated by their **creation site** (``Lock@file:line``), so
+one inversion between two ``ViewerSession._lock`` instances and the
+broker lock is reported once, not once per session.
+
+The tracer also flags **locks held across blocking channel operations**
+(``Channel.recv``, and ``Channel.send`` on a bounded channel): a pump
+thread that blocks on the wire while holding a shared lock stalls every
+other thread that needs it — the cross-stage stall the paper's
+pipelined design (§3) exists to avoid.
+
+:class:`ThreadLeakGuard` snapshots live threads around a scope and
+reports any *non-daemon* thread that outlives it — the test-suite
+tripwire for pump/accept threads that are spawned but never joined.
+
+Usage (the integration suite runs under this, see
+``tests/integration/conftest.py``)::
+
+    tracer = LockTracer()
+    tracer.install()
+    try:
+        ...  # exercise concurrent code
+    finally:
+        tracer.uninstall()
+    report = tracer.report()
+    assert not report.inversions and not report.blocking_holds
+
+Interpreting reports: an inversion names the two creation sites and the
+witnessed cycle; fix it by choosing one global order (document it where
+the locks are defined) or by shrinking one critical section so the
+nested acquisition disappears.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LockTracer",
+    "LockOrderInversion",
+    "BlockingHold",
+    "LockTraceReport",
+    "ThreadLeakGuard",
+    "checked",
+]
+
+# captured at import time so a tracer constructed while another tracer
+# is installed still wraps the real primitives, not the other wrapper
+_ORIG_LOCK = threading.Lock
+_ORIG_RLOCK = threading.RLock
+_ORIG_CONDITION = threading.Condition
+
+
+@dataclass(frozen=True)
+class LockOrderInversion:
+    """Two lock sites acquired in opposite orders somewhere in the run."""
+
+    first: str  # site already held
+    second: str  # site being acquired
+    thread: str
+    cycle: tuple[str, ...]  # witnessed path second -> ... -> first
+
+    def __str__(self) -> str:
+        chain = " -> ".join(self.cycle + (self.cycle[0],))
+        return (
+            f"lock-order inversion in thread {self.thread!r}: acquired "
+            f"{self.second} while holding {self.first}, but the reverse "
+            f"order exists ({chain})"
+        )
+
+
+@dataclass(frozen=True)
+class BlockingHold:
+    """A blocking channel operation entered while holding locks."""
+
+    operation: str
+    locks: tuple[str, ...]
+    thread: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operation} in thread {self.thread!r} while holding "
+            f"{', '.join(self.locks)}: a blocked wire op must never pin a "
+            "shared lock"
+        )
+
+
+@dataclass
+class LockTraceReport:
+    """Everything the tracer saw during its installed window."""
+
+    inversions: list[LockOrderInversion] = field(default_factory=list)
+    blocking_holds: list[BlockingHold] = field(default_factory=list)
+    n_locks: int = 0
+    n_edges: int = 0
+    n_acquisitions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.inversions and not self.blocking_holds
+
+    def summary(self) -> str:
+        lines = [
+            f"locktrace: {self.n_locks} lock site(s), {self.n_edges} "
+            f"order edge(s), {self.n_acquisitions} acquisition(s)",
+        ]
+        lines.extend(f"  INVERSION: {v}" for v in self.inversions)
+        lines.extend(f"  BLOCKING-HOLD: {b}" for b in self.blocking_holds)
+        if self.clean:
+            lines.append("  no inversions, no blocking holds")
+        return "\n".join(lines)
+
+
+def _interpreter_internal_wait() -> bool:
+    """True when a ``Condition.wait`` was reached through two or more
+    stdlib ``threading.py`` frames — ``Thread.start()`` waiting on its
+    ``_started`` handshake, not application code blocking.  A direct
+    ``cond.wait()`` (zero threading frames) or a user ``event.wait()``
+    (one: ``Event.wait``) is application-level and stays reportable."""
+    frame = sys._getframe(2)  # caller of _TracedCondition.wait/wait_for
+    n_threading = 0
+    while frame is not None and frame.f_code.co_filename.replace(
+        "\\", "/"
+    ).endswith("/threading.py"):
+        n_threading += 1
+        frame = frame.f_back
+    return n_threading >= 2
+
+
+def _caller_site(kind: str, depth: int) -> str:
+    frame = sys._getframe(depth)
+    path = frame.f_code.co_filename.replace("\\", "/")
+    short = "/".join(path.split("/")[-2:])
+    return f"{kind}@{short}:{frame.f_lineno}"
+
+
+class _TracedLock:
+    """API-compatible wrapper around a real Lock/RLock."""
+
+    def __init__(self, tracer: "LockTracer", inner, site: str):
+        self._tracer = tracer
+        self._inner = inner
+        self.site = site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._tracer._before_acquire(self)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._tracer._push_held(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._tracer._pop_held(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __getattr__(self, item):  # _at_fork_reinit, _is_owned, ...
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:
+        return f"<TracedLock {self.site} wrapping {self._inner!r}>"
+
+
+class _TracedCondition:
+    """Traced ``threading.Condition``: acquisition is tracked like a
+    lock; ``wait`` suspends the held record (the real condition drops
+    the real lock inside) and restores it on wakeup."""
+
+    def __init__(self, tracer: "LockTracer", site: str, lock=None):
+        self._tracer = tracer
+        self.site = site
+        #: when built over a traced lock, delegate held-tracking to it
+        self._owner: _TracedLock | None = None
+        if lock is None:
+            inner_lock = tracer._orig_rlock()
+        elif isinstance(lock, _TracedLock):
+            self._owner = lock
+            inner_lock = lock._inner
+        else:
+            inner_lock = lock
+        self._inner = tracer._orig_condition(inner_lock)
+
+    # -- lock surface --------------------------------------------------------
+
+    def _tracked(self):
+        return self._owner if self._owner is not None else self
+
+    def acquire(self, *args, **kwargs) -> bool:
+        if self._owner is not None:
+            return self._owner.acquire(*args, **kwargs)
+        blocking = args[0] if args else kwargs.get("blocking", True)
+        if blocking:
+            self._tracer._before_acquire(self)
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._tracer._push_held(self)
+        return got
+
+    def release(self) -> None:
+        if self._owner is not None:
+            self._owner.release()
+            return
+        self._inner.release()
+        self._tracer._pop_held(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- condition surface ---------------------------------------------------
+
+    def wait(self, timeout: float | None = None) -> bool:
+        tracked = self._tracked()
+        if not _interpreter_internal_wait():
+            self._tracer._note_wait(tracked)
+        n = self._tracer._suspend_held(tracked)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self._tracer._resume_held(tracked, n)
+
+    def wait_for(self, predicate, timeout: float | None = None):
+        tracked = self._tracked()
+        if not _interpreter_internal_wait():
+            self._tracer._note_wait(tracked)
+        n = self._tracer._suspend_held(tracked)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self._tracer._resume_held(tracked, n)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:
+        return f"<TracedCondition {self.site}>"
+
+
+class LockTracer:
+    """Records the per-process lock-acquisition graph and its hazards.
+
+    Locks are keyed by creation site; edges mean "site A was held while
+    site B was blocking-acquired".  ``install()`` monkeypatches
+    ``threading.Lock``/``RLock``/``Condition`` (and, by default, wraps
+    :class:`repro.net.transport.Channel` send/recv to flag locks held
+    across blocking wire operations); ``uninstall()`` restores
+    everything and freezes the recording.
+    """
+
+    def __init__(self):
+        self._guard = _ORIG_LOCK()  # original, never traced
+        self._orig_lock = _ORIG_LOCK
+        self._orig_rlock = _ORIG_RLOCK
+        self._orig_condition = _ORIG_CONDITION
+        self._held: dict[int, list] = {}  # thread ident -> wrapper stack
+        self._edges: dict[str, set[str]] = {}
+        self._inversions: dict[tuple[str, str], LockOrderInversion] = {}
+        self._blocking: dict[tuple[str, tuple[str, ...]], BlockingHold] = {}
+        self._sites: set[str] = set()
+        self._n_acquisitions = 0
+        self._installed = False
+        self._active = False
+        self._channel_originals = None
+
+    # -- wrapper factories ---------------------------------------------------
+
+    def lock(self, site: str | None = None) -> _TracedLock:
+        site = site or _caller_site("Lock", 2)
+        self._register_site(site)
+        return _TracedLock(self, self._orig_lock(), site)
+
+    def rlock(self, site: str | None = None) -> _TracedLock:
+        site = site or _caller_site("RLock", 2)
+        self._register_site(site)
+        return _TracedLock(self, self._orig_rlock(), site)
+
+    def condition(self, lock=None, site: str | None = None) -> _TracedCondition:
+        site = site or _caller_site("Condition", 2)
+        self._register_site(site)
+        return _TracedCondition(self, site, lock)
+
+    def _register_site(self, site: str) -> None:
+        with self._guard:
+            self._sites.add(site)
+
+    # -- recording -----------------------------------------------------------
+
+    def _before_acquire(self, wrapper) -> None:
+        if not self._active:
+            return
+        ident = threading.get_ident()
+        with self._guard:
+            self._n_acquisitions += 1
+            held = self._held.get(ident, [])
+            if any(h is wrapper for h in held):
+                return  # reentrant RLock acquisition: no new edge
+            target = wrapper.site
+            for h in held:
+                if h.site == target and h is not wrapper:
+                    self._record_inversion(h.site, target, (target,))
+                    continue
+                if h.site == target:
+                    continue
+                added = target not in self._edges.get(h.site, ())
+                self._edges.setdefault(h.site, set()).add(target)
+                if added:
+                    cycle = self._find_path(target, h.site)
+                    if cycle is not None:
+                        self._record_inversion(h.site, target, tuple(cycle))
+
+    def _record_inversion(self, first: str, second: str, cycle) -> None:
+        key = tuple(sorted((first, second)))
+        if key not in self._inversions:
+            self._inversions[key] = LockOrderInversion(
+                first=first,
+                second=second,
+                thread=threading.current_thread().name,
+                cycle=tuple(cycle),
+            )
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """DFS over the edge set; caller holds ``self._guard``."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _push_held(self, wrapper) -> None:
+        if not self._active:
+            return
+        ident = threading.get_ident()
+        with self._guard:
+            self._held.setdefault(ident, []).append(wrapper)
+
+    def _pop_held(self, wrapper) -> None:
+        ident = threading.get_ident()
+        with self._guard:
+            held = self._held.get(ident)
+            if held is None:
+                return
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] is wrapper:
+                    del held[i]
+                    break
+
+    def _suspend_held(self, wrapper) -> int:
+        """Remove every held record of ``wrapper`` (Condition.wait drops
+        the real lock); returns how many to restore on wakeup."""
+        ident = threading.get_ident()
+        with self._guard:
+            held = self._held.get(ident, [])
+            n = sum(1 for h in held if h is wrapper)
+            if n:
+                self._held[ident] = [h for h in held if h is not wrapper]
+            return n
+
+    def _resume_held(self, wrapper, n: int) -> None:
+        if not n:
+            return
+        ident = threading.get_ident()
+        with self._guard:
+            self._held.setdefault(ident, []).extend([wrapper] * n)
+
+    def _note_wait(self, wrapper) -> None:
+        """Condition.wait blocks: any *other* traced lock still held is
+        pinned for the whole wait."""
+        self.note_blocking(f"Condition.wait[{wrapper.site}]", exempt=(wrapper,))
+
+    def note_blocking(self, operation: str, exempt=()) -> None:
+        """Record ``operation`` (a blocking wire op) if the current
+        thread holds traced locks other than ``exempt``."""
+        if not self._active:
+            return
+        ident = threading.get_ident()
+        with self._guard:
+            held = [
+                h for h in self._held.get(ident, ())
+                if not any(h is e for e in exempt)
+            ]
+            if not held:
+                return
+            sites = tuple(sorted({h.site for h in held}))
+            key = (operation, sites)
+            if key not in self._blocking:
+                self._blocking[key] = BlockingHold(
+                    operation=operation,
+                    locks=sites,
+                    thread=threading.current_thread().name,
+                )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self, patch_channel: bool = True) -> "LockTracer":
+        """Start tracing: new locks anywhere in the process are traced."""
+        if self._installed:
+            raise RuntimeError("LockTracer already installed")
+        self._installed = True
+        self._active = True
+        threading.Lock = lambda: self.lock(_caller_site("Lock", 2))
+        threading.RLock = lambda: self.rlock(_caller_site("RLock", 2))
+        threading.Condition = lambda lock=None: self.condition(
+            lock, _caller_site("Condition", 2)
+        )
+        if patch_channel:
+            self._patch_channel()
+        return self
+
+    def _patch_channel(self) -> None:
+        from repro.net import transport
+
+        orig_send = transport.Channel.send
+        orig_recv = transport.Channel.recv
+        tracer = self
+
+        def send(channel, frame, timeout=None):
+            if channel._maxsize:  # bounded: can block on backpressure
+                tracer.note_blocking(
+                    "Channel.send(bounded)", exempt=(channel._cond,)
+                )
+            return orig_send(channel, frame, timeout=timeout)
+
+        def recv(channel, timeout=None):
+            tracer.note_blocking("Channel.recv", exempt=(channel._cond,))
+            return orig_recv(channel, timeout=timeout)
+
+        transport.Channel.send = send
+        transport.Channel.recv = recv
+        self._channel_originals = (orig_send, orig_recv)
+
+    def uninstall(self) -> None:
+        """Stop tracing and restore the patched factories.  Wrapper
+        locks created during the window keep working, silently."""
+        if not self._installed:
+            return
+        self._installed = False
+        self._active = False
+        threading.Lock = self._orig_lock
+        threading.RLock = self._orig_rlock
+        threading.Condition = self._orig_condition
+        if self._channel_originals is not None:
+            from repro.net import transport
+
+            transport.Channel.send, transport.Channel.recv = (
+                self._channel_originals
+            )
+            self._channel_originals = None
+
+    def report(self) -> LockTraceReport:
+        with self._guard:
+            return LockTraceReport(
+                inversions=list(self._inversions.values()),
+                blocking_holds=list(self._blocking.values()),
+                n_locks=len(self._sites),
+                n_edges=sum(len(v) for v in self._edges.values()),
+                n_acquisitions=self._n_acquisitions,
+            )
+
+
+class ThreadLeakGuard:
+    """Snapshot live threads, then report non-daemon strays.
+
+    ``leaked()`` gives stragglers a short join grace (clean shutdown
+    paths finish in milliseconds) before declaring a leak, so it fails
+    on forgotten threads, not on scheduling jitter.
+    """
+
+    def __init__(self, join_timeout_s: float = 2.0):
+        self.join_timeout_s = join_timeout_s
+        self._before: set[threading.Thread] | None = None
+
+    def start(self) -> "ThreadLeakGuard":
+        self._before = set(threading.enumerate())
+        return self
+
+    def leaked(self) -> list[threading.Thread]:
+        if self._before is None:
+            raise RuntimeError("ThreadLeakGuard.start() was never called")
+        fresh = [
+            t
+            for t in threading.enumerate()
+            if t not in self._before and t.is_alive() and not t.daemon
+        ]
+        for t in fresh:
+            t.join(timeout=self.join_timeout_s)
+        return [t for t in fresh if t.is_alive()]
+
+
+@contextmanager
+def checked(patch_channel: bool = True, forbid_leaks: bool = True):
+    """Run a scope under full instrumentation; raise on any hazard.
+
+    The integration suite wraps every test in this (as an autouse
+    fixture): lock-order inversions, locks pinned across blocking wire
+    ops, and leaked non-daemon threads all fail the test that caused
+    them.
+    """
+    tracer = LockTracer()
+    guard = ThreadLeakGuard().start()
+    tracer.install(patch_channel=patch_channel)
+    try:
+        yield tracer
+    finally:
+        tracer.uninstall()
+    report = tracer.report()
+    problems = [str(v) for v in report.inversions]
+    problems += [str(b) for b in report.blocking_holds]
+    if forbid_leaks:
+        problems += [
+            f"leaked non-daemon thread {t.name!r}" for t in guard.leaked()
+        ]
+    if problems:
+        raise AssertionError(
+            "concurrency hazards detected:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,43 @@
+"""The sanctioned way to wait for a cross-thread condition.
+
+Lint rule ``DT201`` bans ``time.sleep`` inside ``while`` loops: a
+busy-wait poll burns CPU, hides missed-wakeup bugs, and turns timing
+assumptions into flakes.  When the state being waited on has a
+``Condition``/``Event``, wait on that.  When it does not (observing
+another component's counters from a test, say), use :func:`wait_until`:
+it sleeps on a private :class:`threading.Event` between probes — never a
+raw ``sleep`` — enforces a deadline, and raises a :class:`TimeoutError`
+naming what it was waiting for instead of silently looping forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["wait_until"]
+
+
+def wait_until(
+    predicate: Callable[[], object],
+    timeout: float = 5.0,
+    interval: float = 0.01,
+    message: str | None = None,
+):
+    """Block until ``predicate()`` is truthy; return its value.
+
+    Raises :class:`TimeoutError` (carrying ``message`` or the predicate
+    name) if the deadline passes first.
+    """
+    deadline = time.monotonic() + timeout
+    pause = threading.Event()
+    while True:
+        value = predicate()
+        if value:
+            return value
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            what = message or getattr(predicate, "__name__", repr(predicate))
+            raise TimeoutError(f"condition not met within {timeout}s: {what}")
+        pause.wait(min(interval, remaining))

@@ -50,10 +50,12 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with errors_lock:
                 errors.append(SpmdError(rank, exc))
-            # Unblock peers stuck in a barrier with us.
+            # Unblock peers stuck in a barrier with us.  abort() only
+            # raises if the barrier is already broken/torn down, which
+            # is exactly the state we want.
             try:
                 world.barrier.abort()
-            except Exception:
+            except (RuntimeError, ValueError):
                 pass
 
     threads = [

@@ -26,6 +26,7 @@ from repro.serve.fanout import measure_fanout, run_fanout, synthetic_frames
 from repro.serve.faultrun import run_with_faults, sweep_faults
 from repro.serve.session import (
     AdaptiveQualityController,
+    FrameDecodeError,
     ServedFrame,
     ViewerHandle,
     ViewerSession,
@@ -43,6 +44,7 @@ __all__ = [
     "ViewerSession",
     "ViewerHandle",
     "ServedFrame",
+    "FrameDecodeError",
     "ServeStats",
     "SessionStats",
     "TierTransition",

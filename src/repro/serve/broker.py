@@ -106,6 +106,8 @@ class SessionBroker:
         self.encodes = 0
         #: control messages dropped for being malformed
         self.malformed_controls = 0
+        #: well-formed controls whose tag is not a broker opcode
+        self.unknown_controls = 0
         #: sessions resumed after an unclean disconnect
         self.resumes = 0
 
@@ -348,6 +350,11 @@ class SessionBroker:
             elif msg.tag == "leave":
                 self.leave(session.name, _expected=session)
                 return
+            else:
+                # a well-formed control the broker has no handler for:
+                # counted so a version-skewed viewer is visible in stats
+                with self._lock:
+                    self.unknown_controls += 1
 
     def _replay(self, session: ViewerSession, from_frame: int) -> None:
         """Re-deliver buffered history from ``from_frame`` (cache-served)."""
@@ -400,6 +407,7 @@ class SessionBroker:
             live = [s.stats_snapshot() for s in self._sessions.values()]
             departed = list(self._departed)
             malformed = self.malformed_controls
+            unknown = self.unknown_controls
             resumes = self.resumes
         snapshot = ServeStats(
             sessions={s.name: s for s in departed + live},
@@ -411,6 +419,7 @@ class SessionBroker:
             cache_bytes=self.cache.current_bytes,
             cache_entries=len(self.cache),
             malformed_controls=malformed,
+            unknown_controls=unknown,
             resumes=resumes,
         )
         return snapshot

@@ -29,6 +29,7 @@ from repro.net.faults import FaultPlan
 from repro.net.transport import RetryPolicy
 from repro.serve.broker import SessionBroker
 from repro.serve.fanout import synthetic_frames
+from repro.serve.session import FrameDecodeError
 from repro.serve.tiers import TierLadder
 
 __all__ = ["run_with_faults", "sweep_faults"]
@@ -73,8 +74,9 @@ class _ResilientViewer:
                     resume_from=self._next_id(),
                 )
             except ValueError:
-                # the broker has not reaped the dead session yet
-                time.sleep(0.005)
+                # the broker has not reaped the dead session yet; wait
+                # on the stop event so shutdown interrupts the retry
+                self._stop.wait(0.005)
                 continue
             except RuntimeError:  # broker closed underneath us
                 return False
@@ -92,7 +94,7 @@ class _ResilientViewer:
                 if not self.reconnect or not self._rejoin():
                     return
                 continue
-            except Exception:  # corrupted payload: decoder raised
+            except FrameDecodeError:  # corrupted payload, typed + counted
                 self.decode_errors += 1
                 continue
             if frame.frame_id in self.frame_ids:

@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.compress import Codec, get_codec
 from repro.compress.context import CodecContext
-from repro.daemon.protocol import ControlMessage, FrameMessage, decode_message
+from repro.daemon.protocol import (
+    ControlMessage,
+    FrameMessage,
+    ProtocolError,
+    decode_message,
+)
 from repro.net.transport import ChannelClosed, FramedConnection
 from repro.serve.stats import SessionStats, TierTransition
 from repro.serve.tiers import TierLadder
@@ -29,7 +34,17 @@ __all__ = [
     "ViewerSession",
     "ViewerHandle",
     "ServedFrame",
+    "FrameDecodeError",
 ]
+
+
+class FrameDecodeError(ValueError):
+    """A delivered frame could not be decoded (corrupted in flight).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    decoder ``ValueError``s keep working, but gives resilience code one
+    *typed* error to count instead of a broad ``except Exception``.
+    """
 
 
 class AdaptiveQualityController:
@@ -268,13 +283,29 @@ class ViewerHandle:
         return codec
 
     def next_frame(self, timeout: float | None = 5.0) -> ServedFrame:
-        """Receive, decode, and ack the next frame."""
+        """Receive, decode, and ack the next frame.
+
+        A frame mangled in flight raises :class:`FrameDecodeError`
+        (whether the corruption hit the message envelope or the
+        compressed payload); timeouts and closed connections keep their
+        own exception types so callers can tell the three apart.
+        """
         while True:
-            msg = decode_message(
-                memoryview(self.conn.recv(timeout=timeout)), copy=False
-            )
+            raw = self.conn.recv(timeout=timeout)
+            try:
+                msg = decode_message(memoryview(raw), copy=False)
+            except ProtocolError as exc:
+                raise FrameDecodeError(f"undecodable message: {exc}") from exc
             if isinstance(msg, FrameMessage):
-                image = self._decoder(msg.codec).decode_image(msg.payload)
+                try:
+                    image = self._decoder(msg.codec).decode_image(msg.payload)
+                except Exception as exc:
+                    # any decoder failure on a wire-corrupted payload is
+                    # re-raised typed — never swallowed, never broad at
+                    # the call sites that count it
+                    raise FrameDecodeError(
+                        f"frame {msg.frame_id} ({msg.codec}): {exc}"
+                    ) from exc
                 self._ack(msg.frame_id)
                 return ServedFrame(
                     frame_id=msg.frame_id,

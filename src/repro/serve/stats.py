@@ -61,6 +61,9 @@ class ServeStats:
     #: control messages dropped because they were malformed (bad or
     #: missing frame_id, non-control traffic from a viewer)
     malformed_controls: int = 0
+    #: well-formed controls with a tag the broker does not handle
+    #: (version-skewed or misbehaving viewers)
+    unknown_controls: int = 0
     #: sessions that reconnected and resumed from their last acked frame
     resumes: int = 0
 
@@ -91,7 +94,9 @@ class ServeStats:
             f"published {self.frames_published} frames, "
             f"{self.encodes} encodes, cache hit ratio "
             f"{self.cache_hit_ratio * 100:.1f}% "
-            f"({self.cache_entries} entries, {self.cache_bytes} B)",
+            f"({self.cache_entries} entries, {self.cache_bytes} B); "
+            f"{self.malformed_controls} malformed / "
+            f"{self.unknown_controls} unknown controls",
             f"{'session':<14}{'tier':>6}{'sent':>7}{'drop':>6}"
             f"{'skip':>6}{'bytes':>12}{'steps':>6}",
         ]

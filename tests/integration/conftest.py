@@ -1,0 +1,33 @@
+"""Every integration test runs under full concurrency instrumentation.
+
+The :mod:`repro.devtools.locktrace` tracer replaces the threading
+primitives for the duration of each test: a lock-order inversion, a
+lock pinned across a blocking channel operation, or a leaked non-daemon
+thread fails the test that caused it — here, where the offending
+schedule is reproducible, not in production where it is not.
+
+Opt out per test with ``@pytest.mark.no_locktrace`` (none needed so
+far; the marker exists so a future deliberately-hazardous test can
+assert on the tracer itself without the fixture interfering).
+"""
+
+import pytest
+
+from repro.devtools.locktrace import checked
+
+
+@pytest.fixture(autouse=True)
+def concurrency_checked(request):
+    if request.node.get_closest_marker("no_locktrace"):
+        yield None
+        return
+    with checked() as tracer:
+        yield tracer
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_locktrace: skip the autouse lock-order/thread-leak "
+        "instrumentation for this test",
+    )

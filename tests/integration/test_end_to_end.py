@@ -13,6 +13,7 @@ import pytest
 from repro.compress import psnr
 from repro.core import RemoteVisualizationSession
 from repro.data import DatasetStore, turbulent_jet, turbulent_vortex
+from repro.devtools.waiting import wait_until
 from repro.render import Camera, TransferFunction
 
 
@@ -83,9 +84,8 @@ class TestSession:
         ) as sess:
             before = sess.step(0).image
             sess.display.set_view(azimuth=140, elevation=50)
-            deadline = time.time() + 3
-            while sess.renderer.pending_view() is None and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(lambda: sess.renderer.pending_view() is not None,
+                       timeout=3, message="view control never arrived")
             after = sess.step(0).image  # same time step, new view
             assert sess.camera.azimuth == 140
             assert not np.array_equal(before, after)
@@ -100,9 +100,8 @@ class TestSession:
             sess.display.set_colormap(
                 [0.0, 1.0], [[1, 0, 0, 0.0], [1, 0, 0, 0.9]]
             )
-            deadline = time.time() + 3
-            while not sess.renderer.drain_controls() and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(sess.renderer.drain_controls, timeout=3,
+                       message="colormap control never arrived")
             # message drained above; apply via a fresh send
             sess.display.set_colormap(
                 [0.0, 1.0], [[1, 0, 0, 0.0], [1, 0, 0, 0.9]]
@@ -124,9 +123,8 @@ class TestSession:
         ) as sess:
             raw_frame = sess.step(0)
             sess.display.set_codec("jpeg+lzo", quality=70)
-            deadline = time.time() + 3
-            while sess.renderer.codec.name != "jpeg+lzo" and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(lambda: sess.renderer.codec.name == "jpeg+lzo",
+                       timeout=3, message="codec switch never applied")
             small_frame = sess.step(1)
             assert small_frame.payload_bytes < raw_frame.payload_bytes / 3
 
@@ -189,10 +187,12 @@ class TestZoomProjectionControls:
         ) as sess:
             wide = sess.step(0).image
             sess.display.set_zoom(3.0)
-            deadline = time.time() + 3
-            while sess.camera.zoom != 3.0 and time.time() < deadline:
-                time.sleep(0.01)
+
+            def zoom_applied():
                 sess._apply_controls()
+                return sess.camera.zoom == 3.0
+
+            wait_until(zoom_applied, timeout=3)
             tight = sess.render_step(0)
             assert sess.camera.zoom == 3.0
             assert not np.array_equal(wide, tight)
@@ -205,13 +205,12 @@ class TestZoomProjectionControls:
             codec="raw",
         ) as sess:
             sess.display.set_projection("perspective")
-            deadline = time.time() + 3
-            while (
-                sess.camera.projection != "perspective"
-                and time.time() < deadline
-            ):
-                time.sleep(0.01)
+
+            def projection_applied():
                 sess._apply_controls()
+                return sess.camera.projection == "perspective"
+
+            wait_until(projection_applied, timeout=3)
             assert sess.camera.projection == "perspective"
             frame = sess.step(1)
             assert frame.image.shape == (32, 32, 3)

@@ -12,6 +12,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.devtools.waiting import wait_until
 from repro.net.faults import FaultPlan
 from repro.net.transport import ChannelClosed, RetryPolicy
 from repro.daemon.protocol import ControlMessage, FrameMessage
@@ -34,8 +35,8 @@ def _frames(n, size=24):
 
 def _rejoin(broker, name, plan, resume_from, deadline_s=5.0):
     """Rejoin under the same name, waiting out the pump-reap race."""
-    deadline = time.monotonic() + deadline_s
-    while time.monotonic() < deadline:
+
+    def try_join():
         try:
             return broker.join(
                 name,
@@ -43,9 +44,11 @@ def _rejoin(broker, name, plan, resume_from, deadline_s=5.0):
                 retry=RETRY,
                 resume_from=resume_from,
             )
-        except ValueError:
-            time.sleep(0.005)
-    raise AssertionError("could not rejoin within deadline")
+        except ValueError:  # the pump has not reaped the dead session yet
+            return None
+
+    return wait_until(try_join, timeout=deadline_s, interval=0.005,
+                      message=f"could not rejoin {name!r}")
 
 
 class TestReconnectResume:
@@ -96,13 +99,13 @@ class TestReconnectResume:
             broker.drain(timeout=2.0, names=[])
 
             # a polite leave parks nothing: the rejoin starts over
-            deadline = time.monotonic() + 2.0
-            second = None
-            while second is None and time.monotonic() < deadline:
+            def try_rejoin():
                 try:
-                    second = broker.join("polite")
+                    return broker.join("polite")
                 except ValueError:
-                    time.sleep(0.005)
+                    return None
+
+            second = wait_until(try_rejoin, timeout=2.0, interval=0.005)
             assert second is not None
             assert not second.resumed
             assert broker.stats().resumes == 0
@@ -113,12 +116,12 @@ class TestReconnectResume:
 
 class TestMalformedControls:
     def _wait_malformed(self, broker, n, deadline_s=2.0):
-        deadline = time.monotonic() + deadline_s
-        while time.monotonic() < deadline:
-            if broker.stats().malformed_controls >= n:
-                return True
-            time.sleep(0.01)
-        return False
+        try:
+            wait_until(lambda: broker.stats().malformed_controls >= n,
+                       timeout=deadline_s)
+            return True
+        except TimeoutError:
+            return False
 
     def test_bad_acks_are_counted_and_do_not_kill_the_pump(self):
         broker = SessionBroker(ladder=LOSSLESS, credit_limit=8)

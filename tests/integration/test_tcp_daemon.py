@@ -12,6 +12,7 @@ import pytest
 
 from repro.daemon import DisplayInterface, RendererInterface
 from repro.daemon.tcp import TcpConnection, TcpDaemonServer, connect_daemon
+from repro.devtools.waiting import wait_until
 from repro.net.transport import ChannelClosed
 
 
@@ -60,9 +61,8 @@ class TestTcpTransport:
             connection=connect_daemon(server.address, "display")
         )
         display.set_view(azimuth=77, elevation=-5)
-        deadline = time.time() + 5
-        while renderer.pending_view() is None and time.time() < deadline:
-            time.sleep(0.02)
+        wait_until(lambda: renderer.pending_view() is not None, timeout=5,
+                   interval=0.02, message="view control never arrived")
         assert renderer.pending_view() == {"azimuth": 77, "elevation": -5}
         renderer.close()
         display.close()
@@ -110,12 +110,12 @@ class TestHandshakeRejects:
     accept loop, and never register with the daemon."""
 
     def _wait_reject(self, server, reason, n=1, deadline_s=5.0):
-        deadline = time.time() + deadline_s
-        while time.time() < deadline:
-            if server.reject_reasons.get(reason, 0) >= n:
-                return True
-            time.sleep(0.02)
-        return False
+        try:
+            wait_until(lambda: server.reject_reasons.get(reason, 0) >= n,
+                       timeout=deadline_s, interval=0.02)
+            return True
+        except TimeoutError:
+            return False
 
     def test_malformed_hello_counted(self, server):
         import socket as socket_mod

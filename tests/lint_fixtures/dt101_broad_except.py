@@ -1,0 +1,33 @@
+"""Fixture: exactly one DT101 — a swallowed broad except."""
+
+
+def swallow(channel):
+    try:
+        return channel.recv(timeout=1.0)
+    except Exception:  # VIOLATION line 7: neither re-raises nor counts
+        pass
+
+
+def fine_reraise(channel):
+    try:
+        return channel.recv(timeout=1.0)
+    except Exception as exc:
+        raise RuntimeError("recv failed") from exc
+
+
+class Counted:
+    def __init__(self):
+        self.rejects = 0
+
+    def fine_counter(self, channel):
+        try:
+            return channel.recv(timeout=1.0)
+        except Exception:
+            self.rejects += 1
+            return None
+
+    def fine_narrow(self, channel):
+        try:
+            return channel.recv(timeout=1.0)
+        except TimeoutError:
+            return None

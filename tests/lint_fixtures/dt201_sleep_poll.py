@@ -1,0 +1,18 @@
+"""Fixture: exactly one DT201 — a time.sleep busy-wait poll."""
+
+import threading
+import time
+
+
+def busy_wait(daemon):
+    while daemon.dropped_frames == 0:
+        time.sleep(0.01)  # VIOLATION line 9: busy-wait inside a while
+
+
+def fine_event_wait(stop: threading.Event):
+    while not stop.is_set():
+        stop.wait(0.01)
+
+
+def fine_plain_pause():
+    time.sleep(0.1)  # not in a loop: a pacing sleep, not a poll

@@ -1,0 +1,19 @@
+"""Fixture: exactly one DT301 — a thread neither daemonized nor joined."""
+
+import threading
+
+
+def leaky(work):
+    t = threading.Thread(target=work)  # VIOLATION line 7: no daemon, no join
+    t.start()
+
+
+def fine_daemon(work):
+    t = threading.Thread(target=work, daemon=True)
+    t.start()
+
+
+def fine_joined(work):
+    t = threading.Thread(target=work)
+    t.start()
+    t.join(timeout=5.0)

@@ -1,0 +1,17 @@
+"""Fixture: exactly one DT401 — wall clock in a deterministic path.
+
+The file name carries no path marker; the test passes an explicit
+``deterministic`` override so the rule fires outside ``repro/compress``.
+"""
+
+import random
+import time
+
+
+def jitter_delay(plan):
+    return time.time() % plan.jitter_s  # VIOLATION line 12: wall clock
+
+
+def fine_seeded(plan):
+    rng = random.Random(plan.seed)
+    return rng.random() * plan.jitter_s

@@ -1,0 +1,10 @@
+"""Fixture: exactly one DT501 — dispatch on an unregistered control tag."""
+
+
+def handle(msg, camera):
+    if msg.tag == "view":
+        camera.set_view(**msg.params)
+    elif msg.tag == "zomo":  # VIOLATION line 7: typo'd tag not in registry
+        camera.set_zoom(**msg.params)
+    else:
+        pass

@@ -1,0 +1,17 @@
+"""Fixture: exactly one DT502 — a tag dispatch chain with no else."""
+
+
+def handle(msg, camera):
+    if msg.tag == "view":  # VIOLATION line 5: chain silently drops unknowns
+        camera.set_view(**msg.params)
+    elif msg.tag == "zoom":
+        camera.set_zoom(**msg.params)
+
+
+def fine_handle(msg, camera, stats):
+    if msg.tag == "view":
+        camera.set_view(**msg.params)
+    elif msg.tag == "zoom":
+        camera.set_zoom(**msg.params)
+    else:
+        stats.unknown_controls += 1

@@ -1,0 +1,13 @@
+"""Fixture: exactly one DT601 — a mutable default argument."""
+
+
+def collect(frame, acc=[]):  # VIOLATION line 4: shared list default
+    acc.append(frame)
+    return acc
+
+
+def fine_collect(frame, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(frame)
+    return acc

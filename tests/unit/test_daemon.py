@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.daemon import DisplayDaemon, DisplayInterface, RendererInterface
+from repro.devtools.waiting import wait_until
 
 
 @pytest.fixture
@@ -123,21 +124,15 @@ class TestControlPath:
     def test_view_callback_buffered(self, system):
         _, renderer, display = system
         display.set_view(azimuth=120, elevation=-15)
-        deadline = time.time() + 3
-        pending = None
-        while pending is None and time.time() < deadline:
-            pending = renderer.pending_view()
-            time.sleep(0.01)
+        pending = wait_until(renderer.pending_view, timeout=3,
+                             message="view control never arrived")
         assert pending == {"azimuth": 120, "elevation": -15}
 
     def test_controls_drain_once(self, system):
         _, renderer, display = system
         display.send_control("custom", value=1)
-        deadline = time.time() + 3
-        drained = []
-        while not drained and time.time() < deadline:
-            drained = renderer.drain_controls()
-            time.sleep(0.01)
+        drained = wait_until(renderer.drain_controls, timeout=3,
+                             message="control never arrived")
         assert [m.tag for m in drained] == ["custom"]
         assert renderer.drain_controls() == []
 
@@ -145,20 +140,16 @@ class TestControlPath:
         _, renderer, display = system
         assert renderer.codec.name == "lzo"
         display.set_codec("jpeg+bzip", quality=85)
-        deadline = time.time() + 3
-        while renderer.codec.name != "jpeg+bzip" and time.time() < deadline:
-            time.sleep(0.01)
+        wait_until(lambda: renderer.codec.name == "jpeg+bzip", timeout=3,
+                   message="codec switch never applied")
         assert renderer.codec.name == "jpeg+bzip"
         assert renderer.codec.first.quality == 85
 
     def test_colormap_message(self, system):
         _, renderer, display = system
         display.set_colormap([0.0, 1.0], [[0, 0, 0, 0], [1, 1, 1, 1]])
-        deadline = time.time() + 3
-        msgs = []
-        while not msgs and time.time() < deadline:
-            msgs = renderer.drain_controls()
-            time.sleep(0.01)
+        msgs = wait_until(renderer.drain_controls, timeout=3,
+                          message="colormap control never arrived")
         assert msgs[0].tag == "colormap"
         assert msgs[0].params["positions"] == [0.0, 1.0]
 
@@ -168,11 +159,11 @@ class TestControlPath:
             r2 = RendererInterface(daemon, codec="raw", name="r2")
             display = DisplayInterface(daemon)
             display.set_view(azimuth=1, elevation=2)
-            deadline = time.time() + 3
-            while (
-                r1.pending_view() is None or r2.pending_view() is None
-            ) and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(
+                lambda: r1.pending_view() is not None
+                and r2.pending_view() is not None,
+                timeout=3, message="view control never reached both renderers",
+            )
             assert r1.pending_view() == {"azimuth": 1, "elevation": 2}
             assert r2.pending_view() == {"azimuth": 1, "elevation": 2}
 
@@ -219,9 +210,8 @@ class TestSlowConsumer:
             renderer.send_frame(gradient_image, time_step=t, frame_id=t)
             steps.append(fast.next_frame(timeout=5).time_step)
         assert steps == list(range(n_frames))
-        deadline = time.time() + 5
-        while daemon.dropped_frames == 0 and time.time() < deadline:
-            time.sleep(0.01)
+        wait_until(lambda: daemon.dropped_frames > 0, timeout=5,
+                   message="slow display never triggered a drop")
         # accounting: everything beyond the slow port's pipe + buffer
         # capacity was dropped whole, and only from the slow display
         assert daemon.dropped_frames > 0

@@ -1,0 +1,286 @@
+"""The lock-order / thread-leak detector is itself under test: seeded
+inversions, blocking holds, and leaked threads must all be caught, and
+clean concurrent code must not trip it."""
+
+import threading
+
+import pytest
+
+from repro.devtools.locktrace import (
+    LockTracer,
+    ThreadLeakGuard,
+    checked,
+)
+
+pytestmark = pytest.mark.lint
+
+
+class TestLockOrderInversion:
+    def test_two_lock_inversion_detected_without_deadlock(self):
+        """A takes a->b, B takes b->a, serialized so no real deadlock
+        occurs — the tracer must still report the inversion."""
+        tracer = LockTracer()
+        a = tracer.lock(site="Lock@fixture:a")
+        b = tracer.lock(site="Lock@fixture:b")
+        tracer._active = True  # trace without monkeypatching threading
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join(timeout=5.0)
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join(timeout=5.0)
+
+        report = tracer.report()
+        assert not report.clean
+        assert len(report.inversions) == 1
+        inv = report.inversions[0]
+        assert {inv.first, inv.second} == {
+            "Lock@fixture:a", "Lock@fixture:b"
+        }
+        assert "inversion" in str(inv)
+        assert "INVERSION" in report.summary()
+
+    def test_consistent_order_is_clean(self):
+        tracer = LockTracer()
+        a = tracer.lock(site="Lock@fixture:a")
+        b = tracer.lock(site="Lock@fixture:b")
+        tracer._active = True
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        report = tracer.report()
+        assert report.clean
+        assert report.n_edges == 1
+        assert "no inversions" in report.summary()
+
+    def test_three_lock_cycle_detected(self):
+        """a->b, b->c, c->a: no pair inverts directly, the cycle only
+        exists through the transitive edge set."""
+        tracer = LockTracer()
+        locks = {s: tracer.lock(site=f"Lock@fixture:{s}") for s in "abc"}
+        tracer._active = True
+        for first, second in (("a", "b"), ("b", "c"), ("c", "a")):
+            with locks[first]:
+                with locks[second]:
+                    pass
+        report = tracer.report()
+        assert len(report.inversions) == 1
+        assert len(report.inversions[0].cycle) >= 2
+
+    def test_reentrant_rlock_is_not_an_inversion(self):
+        tracer = LockTracer()
+        r = tracer.rlock(site="RLock@fixture:r")
+        tracer._active = True
+        with r:
+            with r:
+                pass
+        assert tracer.report().clean
+
+    def test_same_site_different_instances_flagged(self):
+        """Two locks born at one site acquired nested: session A locking
+        session B's lock — order between peers is undefined."""
+        tracer = LockTracer()
+        one = tracer.lock(site="Lock@fixture:peer")
+        two = tracer.lock(site="Lock@fixture:peer")
+        tracer._active = True
+        with one:
+            with two:
+                pass
+        report = tracer.report()
+        assert len(report.inversions) == 1
+
+
+class TestBlockingHold:
+    def test_lock_held_across_blocking_op_flagged(self):
+        tracer = LockTracer()
+        lock = tracer.lock(site="Lock@fixture:held")
+        tracer._active = True
+        with lock:
+            tracer.note_blocking("Channel.recv")
+        report = tracer.report()
+        assert len(report.blocking_holds) == 1
+        hold = report.blocking_holds[0]
+        assert hold.operation == "Channel.recv"
+        assert hold.locks == ("Lock@fixture:held",)
+        assert "BLOCKING-HOLD" in report.summary()
+
+    def test_exempt_lock_is_not_flagged(self):
+        tracer = LockTracer()
+        lock = tracer.lock(site="Lock@fixture:own")
+        tracer._active = True
+        with lock:
+            tracer.note_blocking("Channel.recv", exempt=(lock,))
+        assert tracer.report().clean
+
+    def test_condition_wait_suspends_its_own_lock(self):
+        """cond.wait releases the underlying lock, so waiting while
+        holding only that lock is legal and must not be flagged."""
+        tracer = LockTracer()
+        cond = tracer.condition(site="Condition@fixture:c")
+        tracer._active = True
+        with cond:
+            cond.wait(timeout=0.01)
+        assert tracer.report().clean
+
+    def test_condition_wait_flags_other_held_locks(self):
+        tracer = LockTracer()
+        outer = tracer.lock(site="Lock@fixture:outer")
+        cond = tracer.condition(site="Condition@fixture:c")
+        tracer._active = True
+        with outer:
+            with cond:
+                cond.wait(timeout=0.01)
+        report = tracer.report()
+        assert len(report.blocking_holds) == 1
+        assert report.blocking_holds[0].locks == ("Lock@fixture:outer",)
+
+
+class TestInstall:
+    def test_install_patches_and_uninstall_restores(self):
+        orig_lock = threading.Lock
+        tracer = LockTracer()
+        tracer.install(patch_channel=False)
+        try:
+            lock = threading.Lock()
+            with lock:
+                pass
+            assert hasattr(lock, "site")
+        finally:
+            tracer.uninstall()
+        assert threading.Lock is orig_lock
+        assert tracer.report().n_acquisitions >= 1
+
+    def test_double_install_rejected(self):
+        tracer = LockTracer()
+        tracer.install(patch_channel=False)
+        try:
+            with pytest.raises(RuntimeError):
+                tracer.install(patch_channel=False)
+        finally:
+            tracer.uninstall()
+
+    def test_channel_recv_under_lock_is_flagged(self):
+        from repro.net.transport import FramedConnection
+
+        tracer = LockTracer()
+        guard = tracer.lock(site="Lock@fixture:guard")
+        tracer.install(patch_channel=True)
+        try:
+            local, remote = FramedConnection.pair()
+            remote.send(b"payload")
+            with guard:
+                assert local.recv(timeout=2.0) == b"payload"
+        finally:
+            tracer.uninstall()
+        report = tracer.report()
+        assert any(
+            h.operation == "Channel.recv" and "guard" in h.locks[0]
+            for h in report.blocking_holds
+        )
+
+    def test_channel_recv_without_lock_is_clean(self):
+        from repro.net.transport import FramedConnection
+
+        tracer = LockTracer()
+        tracer.install(patch_channel=True)
+        try:
+            local, remote = FramedConnection.pair()
+            remote.send(b"payload")
+            assert local.recv(timeout=2.0) == b"payload"
+        finally:
+            tracer.uninstall()
+        assert not tracer.report().blocking_holds
+
+
+class TestThreadLeakGuard:
+    def test_leaked_non_daemon_thread_detected(self):
+        stop = threading.Event()
+        guard = ThreadLeakGuard(join_timeout_s=0.05).start()
+        stray = threading.Thread(
+            target=stop.wait, name="stray", daemon=False
+        )
+        stray.start()
+        try:
+            leaked = guard.leaked()
+            assert [t.name for t in leaked] == ["stray"]
+        finally:
+            stop.set()
+            stray.join(timeout=5.0)
+
+    def test_daemon_threads_are_tolerated(self):
+        stop = threading.Event()
+        guard = ThreadLeakGuard(join_timeout_s=0.05).start()
+        t = threading.Thread(target=stop.wait, daemon=True)
+        t.start()
+        try:
+            assert guard.leaked() == []
+        finally:
+            stop.set()
+            t.join(timeout=5.0)
+
+    def test_joined_thread_is_not_a_leak(self):
+        guard = ThreadLeakGuard().start()
+        t = threading.Thread(target=lambda: None, daemon=False)
+        t.start()
+        t.join(timeout=5.0)
+        assert guard.leaked() == []
+
+    def test_start_required(self):
+        with pytest.raises(RuntimeError):
+            ThreadLeakGuard().leaked()
+
+
+class TestCheckedScope:
+    def test_checked_raises_on_seeded_inversion(self):
+        with pytest.raises(AssertionError, match="inversion"):
+            with checked(patch_channel=False) as tracer:
+                a = tracer.lock(site="Lock@fixture:a")
+                b = tracer.lock(site="Lock@fixture:b")
+                with a:
+                    with b:
+                        pass
+                with b:
+                    with a:
+                        pass
+
+    def test_checked_raises_on_leaked_thread(self):
+        stop = threading.Event()
+        stray = None
+        try:
+            with pytest.raises(AssertionError, match="leaked non-daemon"):
+                with checked(patch_channel=False):
+                    stray = threading.Thread(
+                        target=stop.wait, name="leaker", daemon=False
+                    )
+                    stray.start()
+        finally:
+            stop.set()
+            if stray is not None:
+                stray.join(timeout=5.0)
+
+    def test_checked_passes_clean_scope(self):
+        with checked(patch_channel=False):
+            lock = threading.Lock()
+            with lock:
+                pass
+
+    def test_checked_does_not_mask_test_failure(self):
+        """An exception from the body propagates; the tracer still
+        uninstalls so later tests see real primitives."""
+        orig = threading.Lock
+        with pytest.raises(ValueError):
+            with checked(patch_channel=False):
+                raise ValueError("body failure")
+        assert threading.Lock is orig

@@ -6,6 +6,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.devtools.waiting import wait_until
 from repro.serve import (
     AdaptiveQualityController,
     FrameCache,
@@ -216,19 +217,19 @@ class TestBroker:
             # burst with nobody consuming: immediate demotion
             for fid in range(4):
                 broker.publish(frames[fid], time_step=fid, frame_id=fid)
-            deadline = time.time() + 5
-            while not broker.stats().sessions["v0"].transitions:
-                assert time.time() < deadline
-                time.sleep(0.01)
+            wait_until(
+                lambda: broker.stats().sessions["v0"].transitions,
+                timeout=5, message="burst never demoted the viewer",
+            )
             # now consume everything: acks stream back, tier recovers
             consumer = _Consumer(handle)
             for fid in range(4, 30):
                 broker.publish(frames[fid], time_step=fid, frame_id=fid)
                 broker.drain(timeout=5.0)
-            deadline = time.time() + 5
-            while broker.stats().sessions["v0"].tier != "full":
-                assert time.time() < deadline, "viewer never promoted back"
-                time.sleep(0.01)
+            wait_until(
+                lambda: broker.stats().sessions["v0"].tier == "full",
+                timeout=5, message="viewer never promoted back",
+            )
             reasons = {t.reason for t in broker.stats().sessions["v0"].transitions}
             assert "recovered" in reasons
             consumer.stop()
@@ -257,10 +258,8 @@ class TestBroker:
             _paced_publish(broker, frames)
             consumer.stop()
             handle.leave()
-            deadline = time.time() + 5
-            while "v0" in broker.sessions():
-                assert time.time() < deadline
-                time.sleep(0.01)
+            wait_until(lambda: "v0" not in broker.sessions(), timeout=5,
+                       message="departed session never reaped")
             stats = broker.stats()
             assert stats.sessions["v0"].frames_sent == 3
             assert not stats.sessions["v0"].active
@@ -310,17 +309,23 @@ class TestBroker:
             handle = broker.join("v0")  # not consuming yet: demotion
             for fid in range(4):
                 broker.publish(frames[fid], time_step=fid, frame_id=fid)
-            deadline = time.time() + 5
-            while not broker.stats().sessions["v0"].transitions:
-                assert time.time() < deadline
-                time.sleep(0.01)
+            wait_until(
+                lambda: broker.stats().sessions["v0"].transitions,
+                timeout=5, message="burst never demoted the viewer",
+            )
             # the queued tier control message is seen while consuming
             handle.next_frame(timeout=5.0)
-            deadline = time.time() + 5
-            while handle.current_tier is None and time.time() < deadline:
+
+            def saw_tier():
+                if handle.current_tier is not None:
+                    return True
                 try:
                     handle.next_frame(timeout=0.2)
                 except TimeoutError:
                     pass
+                return handle.current_tier is not None
+
+            wait_until(saw_tier, timeout=5,
+                       message="tier notification never reached the viewer")
             assert handle.current_tier in ("lite", "skip")
             handle.leave()
