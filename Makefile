@@ -2,12 +2,13 @@
 
 PY ?= python3
 
-.PHONY: help install test lint bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
+.PHONY: help install test lint analyze bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
 
 help:
 	@echo "install      pip install -e ."
 	@echo "test         full test suite"
-	@echo "lint         concurrency/protocol lint pass + lint-marked tests"
+	@echo "lint         concurrency/protocol lint + DT7xx lockset race analysis + lint-marked tests"
+	@echo "analyze      DT7xx static lockset race analyzer alone (src, against the baseline)"
 	@echo "bench        full benchmark suite"
 	@echo "bench-smoke  fast perf guardrails (decode, serve, faults)"
 	@echo "reproduce    regenerate the paper-reproduction report"
@@ -22,9 +23,16 @@ test:
 
 # Repo-specific static checks (rule catalogue in docs/devtools.md) plus
 # the tests that pin the rules and the lock-order detector themselves.
+# `repro lint` runs the DT1xx-DT6xx rules AND the DT7xx lockset race
+# analyzer (filtered through lockset_baseline.json) in one pass.
 lint:
 	PYTHONPATH=src $(PY) -m repro lint src tests
 	PYTHONPATH=src $(PY) -m pytest tests/ -m lint
+
+# The lockset analyzer alone — useful while triaging a finding or
+# refreshing the baseline (`make analyze` then `repro lint --update-baseline`).
+analyze:
+	PYTHONPATH=src $(PY) -c "import sys; from repro.devtools.lockset import main; sys.exit(main(['src']))"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

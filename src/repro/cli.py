@@ -166,12 +166,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the concurrency/protocol lint pass (see docs/devtools.md)",
+        help="run the concurrency/protocol lint pass and the DT7xx "
+             "lockset race analyzer (see docs/devtools.md)",
     )
     p.add_argument("paths", nargs="*", default=["src", "tests"],
                    help="files or directories to lint (default: src tests)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--no-lockset", action="store_true",
+                   help="skip the DT7xx lockset analysis pass")
+    p.add_argument("--baseline", default=None,
+                   help="lockset baseline file (default: lockset_baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the lockset baseline and report everything")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the lockset baseline from current findings")
     p.set_defaults(func=cmd_lint)
 
     return parser
@@ -436,6 +445,14 @@ def cmd_lint(args) -> int:
     argv = list(args.paths)
     if args.list_rules:
         argv.append("--list-rules")
+    if args.no_lockset:
+        argv.append("--no-lockset")
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
     return lint.main(argv)
 
 

@@ -74,12 +74,12 @@ class DisplayDaemon:
         self.buffer_frames = buffer_frames
         self.policy = policy or BroadcastPolicy()
         self._lock = threading.Lock()
-        self._renderers: list[FramedConnection] = []
-        self._displays: list[_DisplayPort] = []
-        self._threads: list[threading.Thread] = []
-        self._closed = False
+        self._renderers: list[FramedConnection] = []  # guarded-by: _lock
+        self._displays: list[_DisplayPort] = []  # guarded-by: _lock
+        self._threads: list[threading.Thread] = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         #: frame ids dropped because a display buffer overflowed
-        self.dropped_frames = 0
+        self.dropped_frames = 0  # guarded-by: _lock
 
     # -- wiring ------------------------------------------------------------
 
@@ -215,10 +215,10 @@ class _DisplayPort:
     def __init__(self, conn: FramedConnection, buffer_frames: int):
         self.conn = conn
         self.buffer_frames = buffer_frames
-        # insertion-ordered: frame id -> its buffered pieces
-        self._by_frame: dict[int, deque[FrameMessage]] = {}
         self._cond = threading.Condition()
-        self._shutdown = False
+        # insertion-ordered: frame id -> its buffered pieces
+        self._by_frame: dict[int, deque[FrameMessage]] = {}  # guarded-by: _cond
+        self._shutdown = False  # guarded-by: _cond
 
     def offer(self, msg: FrameMessage) -> int:
         """Queue a frame piece; returns how many frames were dropped."""

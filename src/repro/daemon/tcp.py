@@ -77,7 +77,7 @@ class TcpConnection:
                     raise ChannelClosed(
                         f"{what} failed after {attempts} attempts: {exc}"
                     ) from exc
-                self.traffic.retransmits += 1
+                self.traffic.note_retransmit()
                 time.sleep(self.retry.delay_before(attempt))
 
     def _send_raw(self, frame: bytes, timeout: float | None) -> None:
@@ -103,7 +103,7 @@ class TcpConnection:
         if timeout is None:
             timeout = self.op_timeout
         self._retrying(lambda: self._send_raw(frame, timeout), "send")
-        self.traffic.sent.append(len(frame))
+        self.traffic.note_sent(len(frame))
 
     def _recv_exact(self, n: int, timeout: float | None) -> bytes:
         chunks = []
@@ -137,7 +137,7 @@ class TcpConnection:
         if timeout is None:
             timeout = self.op_timeout
         frame = self._retrying(lambda: self._recv_raw(timeout), "recv")
-        self.traffic.received.append(len(frame))
+        self.traffic.note_received(len(frame))
         return frame
 
     def close(self) -> None:
@@ -183,11 +183,11 @@ class TcpDaemonServer:
         self._listener.bind((host, port))
         self._listener.listen()
         self.address: tuple[str, int] = self._listener.getsockname()
-        self._closed = False
+        self._closed = False  # guarded-by: none -- one-way flag, set only by close()
         self._lock = threading.Lock()
         #: peers dropped during the handshake, by failure class
-        self.reject_reasons: dict[str, int] = {}
-        self._handshake_threads: list[threading.Thread] = []
+        self.reject_reasons: dict[str, int] = {}  # guarded-by: _lock
+        self._handshake_threads: list[threading.Thread] = []  # guarded-by: _lock
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -297,5 +297,5 @@ def connect_daemon(
         conn.close()
         raise ChannelClosed("daemon did not acknowledge registration")
     # the ack is connection bookkeeping, not traffic the caller sent for
-    conn.traffic.received.pop()
+    conn.traffic.unlog_received()
     return conn

@@ -9,6 +9,12 @@ bite under load.  This package keeps that debt from accumulating:
 - :mod:`repro.devtools.lint` — an AST-based checker with repo-specific
   rules (``repro lint`` / ``make lint`` run it over ``src`` and
   ``tests``; a new finding fails CI);
+- :mod:`repro.devtools.lockset` — an interprocedural static lockset
+  race analyzer (Eraser/RacerD style): infers which lock guards each
+  ``self._*`` field and reports inconsistent locksets, bare writes to
+  annotated fields, unannotated shared mutable state on threaded
+  classes, and lock-scope leaks (rules ``DT701``–``DT704``, run as part
+  of ``repro lint`` behind a committed baseline);
 - :mod:`repro.devtools.locktrace` — instrumented lock wrappers that
   record the lock-acquisition graph at runtime, detect lock-order
   inversions and locks held across blocking channel operations, plus
@@ -18,12 +24,16 @@ See ``docs/devtools.md`` for the rule catalogue and report format.
 """
 
 from repro.devtools.lint import Finding, lint_paths, lint_source
+from repro.devtools.lockset import analyze_paths, analyze_source, guarded_by
 from repro.devtools.locktrace import LockTracer, ThreadLeakGuard
 
 __all__ = [
     "Finding",
     "lint_paths",
     "lint_source",
+    "analyze_paths",
+    "analyze_source",
+    "guarded_by",
     "LockTracer",
     "ThreadLeakGuard",
 ]

@@ -27,6 +27,13 @@ rule        meaning
 ``DT601``   mutable default argument (list/dict/set literal or call)
 ==========  ============================================================
 
+The CLI also runs the ``DT701``–``DT704`` static lockset race analyzer
+from :mod:`repro.devtools.lockset` (guarded-by inference over
+``self._*`` fields), filtered through a committed baseline of
+grandfathered findings; see that module and ``docs/devtools.md`` for the
+rule catalogue and the ``--baseline`` / ``--no-baseline`` /
+``--update-baseline`` workflow.
+
 Escape hatch: append ``# lint: disable=DT201`` (comma-separated ids, or
 ``all``) to the offending line.  Run with ``repro lint [paths...]`` or
 ``make lint``; exit status is non-zero when findings remain.
@@ -437,27 +444,69 @@ def lint_paths(paths: list[str | Path]) -> list[Finding]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # imported lazily: lockset imports this module for Finding/pragmas
+    from repro.devtools import lockset
+
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="repo-specific concurrency/protocol lint pass",
+        description="repo-specific concurrency/protocol lint pass, plus "
+                    "the DT7xx static lockset race analyzer",
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint (default: src tests)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--no-lockset", action="store_true",
+                        help="skip the DT7xx lockset analysis pass")
+    parser.add_argument("--baseline", default=lockset.DEFAULT_BASELINE,
+                        help="baseline file of grandfathered lockset findings "
+                             f"(default: {lockset.DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the lockset baseline and report everything")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the lockset baseline from current "
+                             "findings (kept justifications survive) and exit")
     args = parser.parse_args(argv)
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id]}")
+        catalogue = dict(RULES)
+        catalogue.update(lockset.LOCKSET_RULES)
+        for rule_id in sorted(catalogue):
+            print(f"{rule_id}  {catalogue[rule_id]}")
         return 0
-    findings = lint_paths(args.paths)
+
+    baselined = 0
+    lockset_findings: list[Finding] = []
+    if not args.no_lockset:
+        raw = lockset.analyze_paths(args.paths)
+        baseline = lockset.load_baseline(args.baseline,
+                                         disabled=args.no_baseline)
+        if args.update_baseline:
+            lockset.Baseline.write(Path(args.baseline), raw,
+                                   previous=baseline)
+            print(f"wrote {args.baseline}: {len(raw)} grandfathered "
+                  f"finding(s)")
+            return 0
+        fresh, matched = baseline.filter(raw)
+        stale = baseline.stale_keys(raw)
+        if stale and not args.no_baseline:
+            print("note: stale lockset baseline entrie(s) no longer fire: "
+                  + ", ".join(stale))
+        lockset_findings = list(fresh)
+        baselined = len(matched)
+    elif args.update_baseline:
+        parser.error("--update-baseline requires the lockset pass "
+                     "(drop --no-lockset)")
+
+    findings = lint_paths(args.paths) + lockset_findings
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:
         print(f)
     n_files = sum(1 for _ in _iter_python_files(args.paths))
+    suffix = f" ({baselined} lockset finding(s) baselined)" if baselined else ""
     if findings:
-        print(f"\n{len(findings)} finding(s) in {n_files} file(s)")
+        print(f"\n{len(findings)} finding(s) in {n_files} file(s){suffix}")
         return 1
-    print(f"clean: {n_files} file(s), 0 findings")
+    print(f"clean: {n_files} file(s), 0 findings{suffix}")
     return 0
 
 

@@ -33,8 +33,8 @@ class _Mailbox:
     """Per-rank buffered inbox with (source, tag) matching."""
 
     def __init__(self):
-        self._messages: deque[tuple[int, int, Any]] = deque()
         self._cond = threading.Condition()
+        self._messages: deque[tuple[int, int, Any]] = deque()  # guarded-by: _cond
 
     def put(self, source: int, tag: int, payload: Any) -> None:
         with self._cond:
@@ -107,8 +107,8 @@ class _World:
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self._coll_lock = threading.Lock()
-        self._coll_slots: dict[int, dict] = {}
-        self._coll_seq = [0] * size
+        self._coll_slots: dict[int, dict] = {}  # guarded-by: _coll_lock
+        self._coll_seq = [0] * size  # guarded-by: _coll_lock
 
     # Collectives rendezvous through a shared slot keyed by a per-rank
     # operation counter; all ranks must call collectives in the same order

@@ -239,8 +239,8 @@ class FaultyConnection:
         self.injector = FaultInjector(plan)
         self.retry = retry if retry is not None else getattr(
             conn, "retry", None) or RetryPolicy()
-        self._op_index = 0
         self._lock = threading.Lock()
+        self._op_index = 0  # guarded-by: _lock
 
     @classmethod
     def pair(cls, plan: FaultPlan, a_name: str = "a", b_name: str = "b",
@@ -279,7 +279,7 @@ class FaultyConnection:
                     raise ChannelClosed(
                         f"frame lost {attempts} times, giving up"
                     )
-                self.traffic.retransmits += 1
+                self.traffic.note_retransmit()
                 time.sleep(self.retry.delay_before(attempt))
                 continue
             data = frame

@@ -36,6 +36,7 @@ __all__ = [
     "Channel",
     "FramedConnection",
     "TrafficLog",
+    "TrafficSnapshot",
     "SizeWindow",
     "ChannelClosed",
     "TransientNetworkError",
@@ -128,6 +129,24 @@ class SizeWindow(list):
             del self[: len(self) - self.window]
 
 
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """An atomic point-in-time copy of a :class:`TrafficLog`.
+
+    Taken in one critical section, so the byte and frame totals are
+    mutually consistent — a live log mutated by a pump thread can show
+    ``bytes_sent`` from one frame and ``frames_sent`` from the next.
+    """
+
+    bytes_sent: int
+    bytes_received: int
+    frames_sent: int
+    frames_received: int
+    retransmits: int
+    recent_sent: tuple[int, ...]
+    recent_received: tuple[int, ...]
+
+
 @dataclass
 class TrafficLog:
     """Sizes of frames that crossed a connection, by direction.
@@ -136,36 +155,78 @@ class TrafficLog:
     ``bytes_sent``/``bytes_received`` (and the ``frames_*`` counters)
     aggregate over the whole connection lifetime.  ``retransmits``
     counts transient-failure retries the resilience layer performed.
+
+    A sender and a receiver thread log concurrently, so all mutation
+    goes through the ``note_*`` methods, which serialize on an internal
+    lock; :meth:`snapshot` returns an atomic copy of the aggregates.
     """
 
-    sent: SizeWindow | None = None
-    received: SizeWindow | None = None
+    sent: SizeWindow | None = None  # guarded-by: _lock
+    received: SizeWindow | None = None  # guarded-by: _lock
     window: int = SizeWindow.DEFAULT_WINDOW
-    retransmits: int = 0
+    retransmits: int = 0  # guarded-by: _lock
 
     def __post_init__(self) -> None:
         self.sent = SizeWindow(self.sent or (), window=self.window)
         self.received = SizeWindow(self.received or (), window=self.window)
+        self._lock = threading.Lock()
+
+    def note_sent(self, nbytes: int) -> None:
+        with self._lock:
+            self.sent.append(nbytes)
+
+    def note_received(self, nbytes: int) -> None:
+        with self._lock:
+            self.received.append(nbytes)
+
+    def note_retransmit(self) -> None:
+        with self._lock:
+            self.retransmits += 1
+
+    def unlog_received(self) -> int:
+        """Roll back the most recent received frame (connection
+        bookkeeping such as handshake acks, not caller traffic)."""
+        with self._lock:
+            return self.received.pop()
 
     @property
     def bytes_sent(self) -> int:
-        return self.sent.total_bytes
+        with self._lock:
+            return self.sent.total_bytes
 
     @property
     def bytes_received(self) -> int:
-        return self.received.total_bytes
+        with self._lock:
+            return self.received.total_bytes
 
     @property
     def frames_sent(self) -> int:
-        return self.sent.total_frames
+        with self._lock:
+            return self.sent.total_frames
 
     @property
     def frames_received(self) -> int:
-        return self.received.total_frames
+        with self._lock:
+            return self.received.total_frames
+
+    def snapshot(self) -> TrafficSnapshot:
+        """All aggregates copied in one critical section."""
+        with self._lock:
+            return TrafficSnapshot(
+                bytes_sent=self.sent.total_bytes,
+                bytes_received=self.received.total_bytes,
+                frames_sent=self.sent.total_frames,
+                frames_received=self.received.total_frames,
+                retransmits=self.retransmits,
+                recent_sent=tuple(self.sent),
+                recent_received=tuple(self.received),
+            )
 
     def replay_transfer_s(self, route: WanRoute) -> float:
         """Total time the *retained* sent frames would take on ``route``."""
-        return sum(route.transfer_s(n) for n in self.sent)
+        with self._lock:
+            sizes = tuple(self.sent)
+        return sum(route.transfer_s(n) for n in sizes)
 
 
 class Channel:
@@ -181,9 +242,9 @@ class Channel:
 
     def __init__(self, maxsize: int = 0):
         self._maxsize = maxsize
-        self._items: deque[bytes] = deque()
         self._cond = threading.Condition()
-        self._closed = False
+        self._items: deque[bytes] = deque()  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
 
     def send(self, frame: bytes, timeout: float | None = None) -> None:
         data = bytes(frame)
@@ -227,7 +288,8 @@ class Channel:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._cond:
+            return self._closed
 
 
 class FramedConnection:
@@ -283,7 +345,7 @@ class FramedConnection:
                     raise ChannelClosed(
                         f"{what} failed after {attempts} attempts: {exc}"
                     ) from exc
-                self.traffic.retransmits += 1
+                self.traffic.note_retransmit()
                 time.sleep(self.retry.delay_before(attempt))
 
     # -- public API ----------------------------------------------------------
@@ -292,13 +354,13 @@ class FramedConnection:
         if timeout is None:
             timeout = self.op_timeout
         self._retrying(lambda: self._send_raw(frame, timeout), "send")
-        self.traffic.sent.append(len(frame))
+        self.traffic.note_sent(len(frame))
 
     def recv(self, timeout: float | None = None) -> bytes:
         if timeout is None:
             timeout = self.op_timeout
         frame = self._retrying(lambda: self._recv_raw(timeout), "recv")
-        self.traffic.received.append(len(frame))
+        self.traffic.note_received(len(frame))
         return frame
 
     def close(self) -> None:

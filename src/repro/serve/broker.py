@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.compress import Codec
 from repro.compress.context import CodecContext
+from repro.devtools.lockset import guarded_by
 from repro.daemon.protocol import (
     ControlMessage,
     FrameMessage,
@@ -84,32 +85,32 @@ class SessionBroker:
         self.step_down_after = step_down_after
         self.step_up_after = step_up_after
         self.history_frames = history_frames
-        self._sessions: dict[str, ViewerSession] = {}
-        self._departed: list[SessionStats] = []
+        self._lock = threading.Lock()
+        self._encode_lock = threading.Lock()
+        self._sessions: dict[str, ViewerSession] = {}  # guarded-by: _lock
+        self._departed: list[SessionStats] = []  # guarded-by: _lock
         #: (stats, tier_index, last_acked) of unclean disconnects, by
         #: name — consumed when the same name rejoins
-        self._resume: dict[str, tuple[SessionStats, int, int]] = {}
-        self._encoders: dict[tuple[str, int | None], Codec] = {}
+        self._resume: dict[str, tuple[SessionStats, int, int]] = {}  # guarded-by: _lock
+        self._encoders: dict[tuple[str, int | None], Codec] = {}  # guarded-by: _encode_lock
         self._encoder_context = CodecContext()
-        self._encode_lock = threading.Lock()
-        self._history: OrderedDict[int, tuple[int, np.ndarray]] = OrderedDict()
-        self._threads: list[threading.Thread] = []
-        self._lock = threading.Lock()
+        self._history: OrderedDict[int, tuple[int, np.ndarray]] = OrderedDict()  # guarded-by: _lock
+        self._threads: list[threading.Thread] = []  # guarded-by: _lock
         #: wakes drain() on ack arrival, session departure, and close
         self._ack_cond = threading.Condition()
-        self._closed = False
-        self._session_counter = 0
-        self._frame_counter = 0
-        self.frames_published = 0
+        self._closed = False  # guarded-by: _lock
+        self._session_counter = 0  # guarded-by: _lock
+        self._frame_counter = 0  # guarded-by: _lock
+        self.frames_published = 0  # guarded-by: _lock
         #: encode invocations — with a warm cache this stays at
         #: (frames × tiers in use), independent of viewer count
-        self.encodes = 0
+        self.encodes = 0  # guarded-by: _encode_lock
         #: control messages dropped for being malformed
-        self.malformed_controls = 0
+        self.malformed_controls = 0  # guarded-by: _lock
         #: well-formed controls whose tag is not a broker opcode
-        self.unknown_controls = 0
+        self.unknown_controls = 0  # guarded-by: _lock
         #: sessions resumed after an unclean disconnect
-        self.resumes = 0
+        self.resumes = 0  # guarded-by: _lock
 
     # -- membership ---------------------------------------------------------
 
@@ -140,14 +141,11 @@ class SessionBroker:
             self._session_counter += 1
             existing = self._sessions.get(name)
             if existing is not None:
-                if existing.active:
+                if existing.is_active():
                     raise ValueError(f"session {name!r} already joined")
                 # an unclean disconnect the pump has not reaped yet
                 self._sessions.pop(name)
-                self._resume.setdefault(
-                    name,
-                    (existing._stats, existing.tier_index, existing.last_acked),
-                )
+                self._resume.setdefault(name, existing.resume_state())
             resume = self._resume.pop(name, None)
             broker_side, viewer_side = FramedConnection.pair(
                 f"{name}-broker", f"{name}-viewer"
@@ -178,7 +176,7 @@ class SessionBroker:
                 # replay under the lock: a concurrent publish can only
                 # deliver *after* the resumed stream has caught up, so
                 # the viewer sees history and live frames in order
-                self._replay_resume(session, session.position)
+                self._replay_resume(session, session.cursor())
             t = threading.Thread(
                 target=self._pump_session, args=(session,), daemon=True
             )
@@ -216,9 +214,7 @@ class SessionBroker:
         with self._lock:
             self._departed.append(snapshot)
             if resumable:
-                self._resume.setdefault(
-                    name, (session._stats, session.tier_index, session.last_acked)
-                )
+                self._resume.setdefault(name, session.resume_state())
             else:
                 self._resume.pop(name, None)
         session.conn.close()
@@ -266,7 +262,7 @@ class SessionBroker:
     ) -> str:
         if from_publish and session.pop_resume_guard(frame_id):
             return "duplicate"  # resume replay already covered this id
-        tier = self.ladder[session.tier_index]
+        tier = self.ladder[session.current_tier_index()]
         if not tier.admits(frame_id):
             session.mark_skipped()
             return "skipped"
@@ -367,6 +363,7 @@ class SessionBroker:
         for fid, ts, img in window:
             self._deliver(session, fid, ts, img)
 
+    @guarded_by("_lock")
     def _replay_resume(self, session: ViewerSession, from_frame: int) -> None:
         """Resume replay; caller holds ``self._lock``.
 
@@ -381,7 +378,7 @@ class SessionBroker:
         ]
         session.arm_resume_guard(fid for fid, _, _ in window)
         for fid, ts, img in window:
-            tier = self.ladder[session.tier_index]
+            tier = self.ladder[session.current_tier_index()]
             if not tier.admits(fid):
                 session.mark_skipped()
                 continue
@@ -403,26 +400,32 @@ class SessionBroker:
     # -- observability ------------------------------------------------------
 
     def stats(self) -> ServeStats:
+        # three owning locks, taken one after another (never nested):
+        # each group of counters is copied under the lock its writers
+        # hold, so nothing in the snapshot is a torn read
         with self._lock:
             live = [s.stats_snapshot() for s in self._sessions.values()]
             departed = list(self._departed)
+            frames_published = self.frames_published
             malformed = self.malformed_controls
             unknown = self.unknown_controls
             resumes = self.resumes
-        snapshot = ServeStats(
+        with self._encode_lock:
+            encodes = self.encodes
+        cache = self.cache.stats_snapshot()
+        return ServeStats(
             sessions={s.name: s for s in departed + live},
-            frames_published=self.frames_published,
-            encodes=self.encodes,
-            cache_hits=self.cache.hits,
-            cache_misses=self.cache.misses,
-            cache_evictions=self.cache.evictions,
-            cache_bytes=self.cache.current_bytes,
-            cache_entries=len(self.cache),
+            frames_published=frames_published,
+            encodes=encodes,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_bytes=cache.current_bytes,
+            cache_entries=cache.entries,
             malformed_controls=malformed,
             unknown_controls=unknown,
             resumes=resumes,
         )
-        return snapshot
 
     def drain(self, timeout: float = 5.0, names: list[str] | None = None) -> bool:
         """Wait until the given sessions (default: all) have zero frames
@@ -441,7 +444,7 @@ class SessionBroker:
                         for s in self._sessions.values()
                         if names is None or s.name in names
                     ]
-                if all(s.in_flight == 0 or not s.active for s in sessions):
+                if all(s.idle() for s in sessions):
                     return True
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -460,7 +463,9 @@ class SessionBroker:
             threads = list(self._threads)
         for session in sessions:
             session.deactivate()
-            self._departed.append(session.stats_snapshot())
+            snapshot = session.stats_snapshot()
+            with self._lock:
+                self._departed.append(snapshot)
             session.conn.close()
         self._notify_drain()
         for t in threads:

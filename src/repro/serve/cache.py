@@ -16,11 +16,37 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["FrameCache"]
+from repro.devtools.lockset import guarded_by
+
+__all__ = ["FrameCache", "CacheStats"]
 
 CacheKey = tuple  # (frame_id, codec_name, quality)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """An atomic snapshot of one cache's counters.
+
+    All fields are copied in a single critical section, so e.g.
+    ``hits + misses`` is consistent with ``hit_ratio`` — reading the
+    live counters one by one races the pump threads mutating them.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    inserts: int
+    current_bytes: int
+    max_bytes: int
+    entries: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class FrameCache:
@@ -30,14 +56,14 @@ class FrameCache:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
-        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()
         self._lock = threading.Lock()
-        self.current_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()  # guarded-by: _lock
+        self.current_bytes = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
         #: number of payloads inserted (== encodes when used via get_or_encode)
-        self.inserts = 0
+        self.inserts = 0  # guarded-by: _lock
 
     def get(self, key: CacheKey) -> bytes | None:
         with self._lock:
@@ -69,6 +95,7 @@ class FrameCache:
             self._put_locked(key, payload)
         return payload
 
+    @guarded_by("_lock")
     def _put_locked(self, key: CacheKey, payload: bytes) -> None:
         old = self._entries.pop(key, None)
         if old is not None:
@@ -82,15 +109,30 @@ class FrameCache:
             self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
         with self._lock:
             return key in self._entries
 
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats_snapshot(self) -> CacheStats:
+        """Every counter copied in one critical section."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                inserts=self.inserts,
+                current_bytes=self.current_bytes,
+                max_bytes=self.max_bytes,
+                entries=len(self._entries),
+            )
 
     def clear(self) -> None:
         with self._lock:
@@ -98,8 +140,9 @@ class FrameCache:
             self.current_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.stats_snapshot()
         return (
-            f"<FrameCache {len(self._entries)} entries "
-            f"{self.current_bytes}/{self.max_bytes}B "
-            f"hit={self.hit_ratio():.2f}>"
+            f"<FrameCache {snap.entries} entries "
+            f"{snap.current_bytes}/{snap.max_bytes}B "
+            f"hit={snap.hit_ratio:.2f}>"
         )

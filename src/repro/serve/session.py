@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.compress import Codec, get_codec
 from repro.compress.context import CodecContext
+from repro.devtools.lockset import guarded_by
 from repro.daemon.protocol import (
     ControlMessage,
     FrameMessage,
@@ -105,18 +106,18 @@ class ViewerSession:
         self.controller = controller or AdaptiveQualityController()
         #: the decode-side context shared with this session's ViewerHandle
         self.codec_context = codec_context or CodecContext()
-        self.tier_index = 0
-        self.in_flight = 0
-        self.active = True
+        self._lock = threading.Lock()
+        self.tier_index = 0  # guarded-by: _lock
+        self.in_flight = 0  # guarded-by: _lock
+        self.active = True  # guarded-by: _lock
         #: resume point for seek(): next frame id the viewer wants
-        self.position = 0
+        self.position = 0  # guarded-by: _lock
         #: highest frame id the viewer has acknowledged consuming
-        self.last_acked = -1
+        self.last_acked = -1  # guarded-by: _lock
         #: frame ids replayed at resume time; a concurrent publish of
         #: one of these is a duplicate and must be suppressed (one-shot)
-        self._resume_guard: set[int] = set()
-        self._lock = threading.Lock()
-        self._stats = SessionStats(name=name, tier=ladder[0].name)
+        self._resume_guard: set[int] = set()  # guarded-by: _lock
+        self._stats = SessionStats(name=name, tier=ladder[0].name)  # guarded-by: _lock
 
     # -- reconnect/resume ----------------------------------------------------
 
@@ -194,8 +195,8 @@ class ViewerSession:
             self._stats.acks += 1
             self._apply_delta(self.controller.on_ack(), frame_id, "recovered")
 
+    @guarded_by("_lock")
     def _apply_delta(self, delta: int, frame_id: int, reason: str) -> None:
-        # caller holds the lock
         if not delta:
             return
         new_index = self.ladder.clamp(self.tier_index + delta)
@@ -223,22 +224,38 @@ class ViewerSession:
             self.active = False
             self._stats.active = False
 
+    # -- locked accessors (the broker reads these cross-thread) -------------
+
+    def is_active(self) -> bool:
+        with self._lock:
+            return self.active
+
+    def current_tier_index(self) -> int:
+        with self._lock:
+            return self.tier_index
+
+    def cursor(self) -> int:
+        """Next frame id the viewer wants (the seek/resume point)."""
+        with self._lock:
+            return self.position
+
+    def idle(self) -> bool:
+        """True when nothing is in flight (or the session is gone)."""
+        with self._lock:
+            return self.in_flight == 0 or not self.active
+
+    def resume_state(self) -> tuple[SessionStats, int, int]:
+        """``(stats, tier_index, last_acked)`` read in one critical
+        section, for parking an uncleanly-departed session."""
+        with self._lock:
+            return self._stats, self.tier_index, self.last_acked
+
     def stats_snapshot(self) -> SessionStats:
         with self._lock:
-            snap = SessionStats(
-                name=self.name,
-                tier=self._stats.tier,
-                frames_sent=self._stats.frames_sent,
-                frames_dropped=self._stats.frames_dropped,
-                frames_skipped=self._stats.frames_skipped,
-                bytes_sent=self._stats.bytes_sent,
-                acks=self._stats.acks,
-                transitions=list(self._stats.transitions),
+            return self._stats.copy(
                 decode_context_hit_ratio=self.codec_context.hit_ratio(),
                 active=self.active,
-                reconnects=self._stats.reconnects,
             )
-        return snap
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ being stepped down?".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = ["SessionStats", "TierTransition", "ServeStats"]
 
@@ -45,10 +45,26 @@ class SessionStats:
         offered = self.frames_sent + self.frames_dropped
         return self.frames_dropped / offered if offered else 0.0
 
+    def copy(self, **overrides) -> "SessionStats":
+        """An independent snapshot of these counters.
+
+        The ``transitions`` list is copied, so a snapshot taken under
+        the session lock stays frozen while the live record keeps
+        accumulating.  ``overrides`` replace individual fields.
+        """
+        overrides.setdefault("transitions", list(self.transitions))
+        return replace(self, **overrides)
+
 
 @dataclass
 class ServeStats:
-    """A point-in-time snapshot of the whole broker."""
+    """A point-in-time snapshot of the whole broker.
+
+    Built by ``SessionBroker.stats()`` entirely from atomic copies —
+    session snapshots and cache counters each taken under their owning
+    lock — so the numbers are mutually consistent and never alias live
+    mutable state.
+    """
 
     sessions: dict[str, SessionStats] = field(default_factory=dict)
     frames_published: int = 0

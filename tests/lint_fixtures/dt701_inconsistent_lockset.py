@@ -1,0 +1,16 @@
+"""DT701 fixture: a field written under a lock but read bare."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count

@@ -1,0 +1,20 @@
+"""DT702 fixture: a bare write to an annotated guarded field."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def add(self, n):
+        with self._lock:
+            self._total += n
+
+    def reset(self):
+        self._total = 0
+
+    def total(self):
+        with self._lock:
+            return self._total

@@ -1,0 +1,20 @@
+"""DT703 fixture: mutable state shared with a thread, never locked."""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self._items = []
+        self._done = threading.Event()
+
+    def start(self):
+        t = threading.Thread(target=self._worker, daemon=True)
+        t.start()
+
+    def _worker(self):
+        while not self._done.is_set():
+            self._items.append(1)
+
+    def harvest(self):
+        return list(self._items)

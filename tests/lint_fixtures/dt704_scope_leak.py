@@ -1,0 +1,24 @@
+"""DT704 fixture: manual acquire with an early return before release."""
+
+import threading
+
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._open = False
+
+    def try_open(self, ready):
+        self._lock.acquire()
+        if not ready:
+            return False
+        self._open = True
+        self._lock.release()
+        return True
+
+    def open_safely(self):
+        self._lock.acquire()
+        try:
+            self._open = True
+        finally:
+            self._lock.release()

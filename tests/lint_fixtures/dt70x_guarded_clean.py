@@ -1,0 +1,41 @@
+"""Negative DT7xx fixture: annotated, consistently locked — zero findings.
+
+Exercises every convention at once: the ``# guarded-by:`` comment, the
+``guarded_by`` decorator on a helper only called under the lock, a
+``# guarded-by: none`` single-writer field, and a spawned thread whose
+shared state is always accessed with the lock held.
+"""
+
+import threading
+
+from repro.devtools.lockset import guarded_by
+
+
+class CleanBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        self._high_water = 0  # guarded-by: _lock
+        self._started = False  # guarded-by: none -- set once before start
+        self._thread = None
+
+    def start(self):
+        self._started = True
+        self._thread = threading.Thread(target=self._worker, daemon=True)
+        self._thread.start()
+
+    def _worker(self):
+        for n in range(8):
+            with self._lock:
+                self._items.append(n)
+                self._note_high_water()
+
+    @guarded_by("_lock")
+    def _note_high_water(self):
+        self._high_water = max(self._high_water, len(self._items))
+
+    def drain(self):
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+        return items
