@@ -30,24 +30,33 @@ def bwt_forward(data: bytes) -> tuple[bytes, int]:
         return data, 0
 
     s = np.frombuffer(data, dtype=np.uint8)
-    rank = s.astype(np.int64)
-    k = 1
-    while k < n:
-        key2 = np.roll(rank, -k)
-        order = np.lexsort((key2, rank))
-        # New rank: group id of each (rank, key2) pair in sorted order.
-        r_sorted = rank[order]
-        k_sorted = key2[order]
-        changed = np.empty(n, dtype=np.int64)
+    # Seed the doubling at k = 4: rank every rotation by its first four
+    # bytes at once (big-endian packing makes numeric order lexicographic
+    # order), skipping the two slowest refinement passes outright.
+    ext = np.resize(s, n + 3).astype(np.uint32)  # cyclic wrap, any n >= 2
+    win = (
+        (ext[:n] << 24) | (ext[1 : n + 1] << 16)
+        | (ext[2 : n + 2] << 8) | ext[3 : n + 3]
+    )
+    order = np.argsort(win)
+    w_sorted = win[order]
+    changed = np.empty(n, dtype=np.int64)
+    changed[0] = 0
+    np.not_equal(w_sorted[1:], w_sorted[:-1], out=changed[1:])
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.cumsum(changed)
+    k = 4
+    # rank < n always, so (rank, rank-k-ahead) packs into one int64 key
+    # and each refinement pass is a single sort, not a two-key lexsort.
+    shift = np.int64(n.bit_length())
+    while k < n and rank[order[-1]] != n - 1:
+        key2 = np.concatenate([rank[k:], rank[:k]])
+        combined = (rank << shift) | key2
+        order = np.argsort(combined)
+        c_sorted = combined[order]
         changed[0] = 0
-        changed[1:] = (r_sorted[1:] != r_sorted[:-1]) | (
-            k_sorted[1:] != k_sorted[:-1]
-        )
-        new_rank = np.empty(n, dtype=np.int64)
-        new_rank[order] = np.cumsum(changed)
-        rank = new_rank
-        if rank[order[-1]] == n - 1:  # all ranks distinct
-            break
+        np.not_equal(c_sorted[1:], c_sorted[:-1], out=changed[1:])
+        rank[order] = np.cumsum(changed)
         k <<= 1
 
     # Periodic strings leave identical rotations tied; break ties by the

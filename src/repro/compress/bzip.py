@@ -48,6 +48,7 @@ from repro.compress.huffman import (
 )
 from repro.compress.mtf import mtf_forward, mtf_inverse
 from repro.compress.rle import RLECodec, find_runs
+from repro.compress.scan import ragged_indices
 
 __all__ = ["BZIPCodec"]
 
@@ -60,27 +61,41 @@ _ALPHABET = 258  # RUNA, RUNB, 2..256 for values 1..255, 257 = EOB
 _EOB = 257
 
 
+_POW2 = np.int64(1) << np.arange(63, dtype=np.int64)
+
+
 def _zero_runs_to_symbols(mtf_bytes: bytes) -> np.ndarray:
-    """RLE2: emit RUNA/RUNB digits for zero runs, shifted values otherwise."""
+    """RLE2: emit RUNA/RUNB digits for zero runs, shifted values otherwise.
+
+    Vectorized over the run list: a zero run of length ``r`` has
+    ``bit_length(r + 1) - 1`` bijective base-2 digits, and digit ``i``
+    (LSB first) is simply bit ``i`` of ``r + 1`` (0 = RUNA, 1 = RUNB) —
+    the closed form of the sequential decrement-and-halve loop.  Digits
+    and shifted literal values then land in the output through one
+    ragged fancy-index store each.
+    """
     arr = np.frombuffer(mtf_bytes, dtype=np.uint8)
+    if arr.size == 0:
+        return np.asarray([_EOB], dtype=np.uint32)
     starts, lengths = find_runs(arr)
-    chunks: list[np.ndarray] = []
-    for s, ln in zip(starts.tolist(), lengths.tolist()):
-        if arr[s] == 0:
-            # bijective base-2: run length r -> digits, LSB first
-            digits = []
-            r = ln
-            while r > 0:
-                r -= 1
-                digits.append(_RUNB if (r & 1) else _RUNA)
-                r >>= 1
-            chunks.append(np.asarray(digits, dtype=np.uint32))
-        else:
-            chunks.append(
-                arr[s : s + ln].astype(np.uint32) + np.uint32(_VALUE_OFFSET)
-            )
-    chunks.append(np.asarray([_EOB], dtype=np.uint32))
-    return np.concatenate(chunks)
+    iszero = arr[starts] == 0
+    q = lengths[iszero] + 1
+    ndig = np.searchsorted(_POW2, q, side="right") - 1
+    out_lens = lengths.copy()
+    out_lens[iszero] = ndig
+    obase = np.cumsum(out_lens)
+    total = int(obase[-1])
+    obase -= out_lens
+    symbols = np.empty(total + 1, dtype=np.uint32)
+    lit = ~iszero
+    lo, loff = ragged_indices(lengths[lit])
+    symbols[obase[lit][lo] + loff] = (
+        arr[starts[lit][lo] + loff] + np.uint32(_VALUE_OFFSET)
+    )
+    do, di = ragged_indices(ndig)
+    symbols[obase[iszero][do] + di] = (q[do] >> di) & 1
+    symbols[-1] = _EOB
+    return symbols
 
 
 def _symbols_to_zero_runs(symbols: np.ndarray) -> bytes:

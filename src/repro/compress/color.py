@@ -12,6 +12,7 @@ import numpy as np
 
 __all__ = [
     "rgb_to_ycbcr",
+    "rgb_to_ycbcr_planes",
     "ycbcr_to_rgb",
     "ycbcr_planes_to_rgb",
     "ycbcr_420_planes_to_rgb",
@@ -38,15 +39,52 @@ _FROM_YCC_BIAS = np.array(
     dtype=np.float32,
 )
 
+# RGB -> YCbCr as the matching forward GEMM (chroma centering added after).
+_TO_YCC = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ],
+    dtype=np.float32,
+)
+
+
+def rgb_to_ycbcr_planes(
+    rgb: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(H, W, 3)`` RGB → three contiguous ``(H, W) float32`` planes.
+
+    One contiguous uint8→float32 cast, then the whole conversion is a
+    single ``(3, 3) @ (3, H*W)`` GEMM — the exact mirror of the decode
+    side's :func:`_planar_to_rgb` — plus two scalar adds for the chroma
+    centering.  ``out`` (``(3, H, W) float32``, the result planes) and
+    ``tmp`` (``(4, H, W) float32``; the first three planes' worth holds
+    the cast GEMM input) are optional preallocated workspaces — the JPEG
+    encoder passes context scratch so steady-state encoding allocates
+    nothing here.  The output is identical with or without the
+    workspaces.
+    """
+    h, w = rgb.shape[:2]
+    if out is None:
+        out = np.empty((3, h, w), dtype=np.float32)
+    if tmp is None:
+        tmp = np.empty((4, h, w), dtype=np.float32)
+    n = h * w
+    rgbf = tmp.reshape(-1)[: 3 * n].reshape(n, 3)
+    np.copyto(rgbf, rgb.reshape(n, 3), casting="unsafe")
+    planes = out.reshape(3, n)
+    np.matmul(_TO_YCC, rgbf.T, out=planes)
+    planes[1] += np.float32(128.0)
+    planes[2] += np.float32(128.0)
+    return out[0], out[1], out[2]
+
 
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
     """``(H, W, 3) uint8`` RGB → ``(H, W, 3) float32`` full-range YCbCr."""
-    rgb = rgb.astype(np.float32)
-    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
-    y = 0.299 * r + 0.587 * g + 0.114 * b
-    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
-    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
-    return np.stack([y, cb, cr], axis=-1)
+    return np.stack(rgb_to_ycbcr_planes(rgb), axis=-1)
 
 
 def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
@@ -99,10 +137,21 @@ def _planar_to_rgb(p: np.ndarray) -> np.ndarray:
     return rgb.T.astype(np.uint8).reshape(h, w, 3)
 
 
-def downsample_420(plane: np.ndarray) -> np.ndarray:
-    """Average 2×2 pixel blocks (plane is padded to even dims first)."""
+def downsample_420(
+    plane: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Average 2×2 pixel blocks (plane is padded to even dims first).
+
+    ``out`` is an optional preallocated half-size result buffer; the
+    accumulation order matches the plain expression form, so the output
+    is bit-identical with or without it.
+    """
     p = pad_to_multiple(plane, 2)
-    return 0.25 * (p[0::2, 0::2] + p[0::2, 1::2] + p[1::2, 0::2] + p[1::2, 1::2])
+    a = np.add(p[0::2, 0::2], p[0::2, 1::2], out=out)
+    a += p[1::2, 0::2]
+    a += p[1::2, 1::2]
+    a *= 0.25
+    return a
 
 
 def upsample_420(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:

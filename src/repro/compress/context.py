@@ -8,16 +8,23 @@ same scratch arrays.  The paper's display workstation must decompress at the
 arrival rate of the stream (§4.2, Table 2), so rebuilding those structures
 per frame is pure waste on the critical path.
 
-A :class:`CodecContext` owns three caches, each keyed on *content*, never on
-frame identity:
+The same argument holds in reverse on the encode side: the serve layer's
+cold cache fills re-derive near-identical Huffman codes from near-identical
+symbol statistics, and every plane needs the same block/bit scratch.  A
+:class:`CodecContext` therefore owns caches for both directions, each keyed
+on *content*, never on frame identity:
 
 - **Huffman codes** keyed by their serialized table bytes — two planes (or
   two frames) carrying byte-identical tables share one
   :class:`~repro.compress.huffman.HuffmanCode` instance, and therefore one
   decode lookup table (the LUT itself is memoized on the instance).
+- **Huffman codes by frequency table** (:meth:`CodecContext.code_for_freqs`)
+  — the encoder-side dual of the above: identical symbol statistics reuse
+  one code instance and its memoized emission LUTs.
 - **Quantization matrices** keyed by JPEG quality.
-- **Scratch buffers** keyed by ``(tag, shape, dtype)`` — reusable work arrays
-  for the entropy decoder so steady-state decoding allocates nothing large.
+- **Scratch buffers** keyed by ``(tag, shape, dtype)`` and **bit sinks**
+  keyed by tag — reusable work arrays for the entropy coders so
+  steady-state encoding and decoding allocate nothing large.
 
 Contexts are deliberately dumb: plain dicts with a size cap and hit/build
 counters (``stats``), safe to share across every codec of one connection.
@@ -52,8 +59,10 @@ class CodecContext:
         self.max_codes = max_codes
         self.max_buffers = max_buffers
         self._codes: dict[bytes, object] = {}
+        self._freq_codes: dict[bytes, object] = {}
         self._quant: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._buffers: dict[tuple, np.ndarray] = {}
+        self._sinks: dict[str, object] = {}
         self.stats = {
             "huffman_code_builds": 0,
             "huffman_code_hits": 0,
@@ -61,6 +70,8 @@ class CodecContext:
             "quant_hits": 0,
             "buffer_allocs": 0,
             "buffer_hits": 0,
+            "encode_code_builds": 0,
+            "encode_code_hits": 0,
         }
 
     # -- Huffman code tables ------------------------------------------------
@@ -94,6 +105,30 @@ class CodecContext:
             self._codes.pop(next(iter(self._codes)))
         self._codes[key] = code
         return code, end
+
+    def code_for_freqs(self, freqs: np.ndarray):
+        """Like :func:`~repro.compress.huffman.build_code`, memoized.
+
+        Keyed on the frequency table bytes: a smooth animation presents
+        near-identical symbol statistics frame after frame, so the heap
+        construction (the only remaining per-plane Python loop on the
+        encode path) collapses to a dict hit in steady state.  The
+        returned instance carries its memoized encode/decode LUTs.
+        """
+        from repro.compress.huffman import build_code
+
+        freqs = np.ascontiguousarray(freqs, dtype=np.int64)
+        key = freqs.tobytes()
+        code = self._freq_codes.get(key)
+        if code is not None:
+            self.stats["encode_code_hits"] += 1
+            return code
+        code = build_code(freqs)
+        self.stats["encode_code_builds"] += 1
+        if len(self._freq_codes) >= self.max_codes:
+            self._freq_codes.pop(next(iter(self._freq_codes)))
+        self._freq_codes[key] = code
+        return code
 
     # -- quantization matrices ---------------------------------------------
 
@@ -132,6 +167,22 @@ class CodecContext:
         self._buffers[key] = buf
         return buf
 
+    def bitsink(self, tag: str):
+        """A reusable :class:`~repro.compress.bitio.BitSink` for ``tag``.
+
+        Returned cleared; the backing buffer persists across frames so
+        steady-state encoding never re-grows it.  Same ownership rules as
+        :meth:`scratch`.
+        """
+        from repro.compress.bitio import BitSink
+
+        sink = self._sinks.get(tag)
+        if sink is None:
+            sink = BitSink()
+            self._sinks[tag] = sink
+        sink.clear()
+        return sink
+
     def hit_ratio(self) -> float:
         """Fraction of lookups served from cache across all three caches.
 
@@ -143,11 +194,13 @@ class CodecContext:
             self.stats["huffman_code_hits"]
             + self.stats["quant_hits"]
             + self.stats["buffer_hits"]
+            + self.stats["encode_code_hits"]
         )
         builds = (
             self.stats["huffman_code_builds"]
             + self.stats["quant_builds"]
             + self.stats["buffer_allocs"]
+            + self.stats["encode_code_builds"]
         )
         total = hits + builds
         return hits / total if total else 0.0
@@ -155,8 +208,10 @@ class CodecContext:
     def clear(self) -> None:
         """Drop every cached table and buffer (stats are kept)."""
         self._codes.clear()
+        self._freq_codes.clear()
         self._quant.clear()
         self._buffers.clear()
+        self._sinks.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

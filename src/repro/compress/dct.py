@@ -12,8 +12,10 @@ import numpy as np
 __all__ = [
     "BLOCK",
     "dct2_blocks",
+    "dct2_strips",
     "idct2_blocks",
     "blockize",
+    "blockize_into",
     "unblockize",
     "zigzag_indices",
     "quant_tables",
@@ -38,9 +40,60 @@ _BASIS_T = np.ascontiguousarray(_BASIS.T)
 _PARTIAL_BASIS = {kk: _dct_basis(kk) for kk in (2, 4)}
 
 
-def dct2_blocks(blocks: np.ndarray) -> np.ndarray:
-    """Orthonormal 2-D DCT-II of an ``(n, 8, 8)`` batch."""
-    return _BASIS @ blocks @ _BASIS_T
+def dct2_blocks(
+    blocks: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """Orthonormal 2-D DCT-II of an ``(n, 8, 8)`` batch.
+
+    The separable transform is two batched GEMM passes over the whole
+    block tensor.  ``tmp`` and ``out`` are optional preallocated result
+    buffers for those passes (the encoder hands in
+    :meth:`~repro.compress.context.CodecContext.scratch` arrays so
+    steady-state encoding allocates nothing here); ``out`` may alias
+    ``blocks`` — the first pass has already consumed it — but must not
+    alias ``tmp``.
+    """
+    tmp = np.matmul(_BASIS, blocks, out=tmp)
+    if (
+        tmp.flags.c_contiguous
+        and out is not None
+        and out.flags.c_contiguous
+    ):
+        # The right-multiply by the shared 8x8 basis treats every block
+        # row independently, so the whole batch collapses into ONE
+        # (n*8, 8) @ (8, 8) GEMM — same 8-term dot products in the same
+        # order (bit-identical), but without the per-block dispatch of a
+        # batched matmul.
+        np.matmul(
+            tmp.reshape(-1, BLOCK), _BASIS_T, out=out.reshape(-1, BLOCK)
+        )
+        return out
+    return np.matmul(tmp, _BASIS_T, out=out)
+
+
+def dct2_strips(plane: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of an ``(H, W)`` plane, blocks left in plane layout.
+
+    The 8×8 blocks of a plane never leave their natural storage: the
+    column pass is one GEMM per 8-row strip (every strip is the 8×8
+    blocks of that block-row side by side, so ``B @ strip`` transforms
+    them all at once), and the row pass is one flat ``(H*W/8, 8)`` GEMM
+    (every 8-float row segment of the strip result is one block row).
+    The per-block arithmetic — and therefore the result, bit for bit —
+    matches :func:`dct2_blocks`, but no blockized copy of the plane ever
+    exists.  ``out[i*8+y, j*8+x]`` is coefficient ``(y, x)`` of block
+    ``(i, j)``.  ``out`` may alias ``plane``; ``tmp`` may not alias
+    either.  All three must be C-contiguous ``(H, W) float32`` with dims
+    multiples of 8.
+    """
+    h, w = plane.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError("plane dims must be multiples of 8")
+    np.matmul(_BASIS, plane.reshape(h // BLOCK, BLOCK, w), out=tmp.reshape(h // BLOCK, BLOCK, w))
+    np.matmul(tmp.reshape(-1, BLOCK), _BASIS_T, out=out.reshape(-1, BLOCK))
+    return out
 
 
 def idct2_blocks(coeffs: np.ndarray) -> np.ndarray:
@@ -81,6 +134,29 @@ def blockize(plane: np.ndarray) -> tuple[np.ndarray, int, int]:
     bh, bw = h // BLOCK, w // BLOCK
     blocks = plane.reshape(bh, BLOCK, bw, BLOCK).swapaxes(1, 2)
     return blocks.reshape(-1, BLOCK, BLOCK), bh, bw
+
+
+def blockize_into(
+    plane: np.ndarray, out: np.ndarray, sub: float = 0.0
+) -> tuple[np.ndarray, int, int]:
+    """:func:`blockize` writing into a preallocated ``(n, 8, 8)`` batch.
+
+    Unlike :func:`blockize` (whose result is a strided view) the output
+    is contiguous, which is what the batched GEMM of :func:`dct2_blocks`
+    wants.  ``sub`` is subtracted during the copy (the JPEG level shift
+    rides along with the transpose pass); dtype conversion too.
+    """
+    h, w = plane.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError("plane dims must be multiples of 8")
+    bh, bw = h // BLOCK, w // BLOCK
+    view = plane.reshape(bh, BLOCK, bw, BLOCK).transpose(0, 2, 1, 3)
+    dst = out.reshape(bh, bw, BLOCK, BLOCK)
+    if sub:
+        np.subtract(view, np.asarray(sub, dtype=out.dtype), out=dst)
+    else:
+        np.copyto(dst, view, casting="unsafe")
+    return out, bh, bw
 
 
 def unblockize(blocks: np.ndarray, bh: int, bw: int) -> np.ndarray:

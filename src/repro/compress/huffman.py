@@ -44,6 +44,8 @@ __all__ = [
     "decode_symbols",
     "encode_interleaved",
     "decode_interleaved",
+    "interleave_entries",
+    "interleave_header",
 ]
 
 #: Longest permitted code, bounding decoder table size to 64 Ki entries.
@@ -57,6 +59,9 @@ DEFAULT_LANES = 128
 #: Decode-table builds since import — regression tests assert memoization
 #: (one build per distinct table) against this counter.
 TABLE_BUILDS = 0
+
+#: Encode-table builds since import, same contract as :data:`TABLE_BUILDS`.
+ENCODE_TABLE_BUILDS = 0
 
 
 def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -110,14 +115,23 @@ class HuffmanCode:
         The dense packed form costs ``ceil(5·size/8)`` bytes — far below
         the per-used-symbol record format for typical alphabets, which
         matters because every compressed block/plane carries its tables.
+        Memoized on the instance (immutable), so the per-frame cost with
+        a context code cache is one dict/attribute lookup, not a packing
+        pass.
         """
-        from repro.compress.bitio import pack_values
+        cached = getattr(self, "_to_bytes_cache", None)
+        if cached is None:
+            from repro.compress.bitio import pack_values
 
-        packed, _ = pack_values(
-            self.lengths.astype(np.uint64),
-            np.full(self.lengths.size, self._LEN_FIELD_BITS, dtype=np.int64),
-        )
-        return struct.pack("<I", self.lengths.size) + packed
+            packed, _ = pack_values(
+                self.lengths.astype(np.uint64),
+                np.full(
+                    self.lengths.size, self._LEN_FIELD_BITS, dtype=np.int64
+                ),
+            )
+            cached = struct.pack("<I", self.lengths.size) + packed
+            object.__setattr__(self, "_to_bytes_cache", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, payload: bytes, offset: int = 0) -> tuple["HuffmanCode", int]:
@@ -190,6 +204,27 @@ class HuffmanCode:
             object.__setattr__(self, "_packed_table_cache", cached)
         return cached
 
+    def encode_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes, lengths)`` emission LUTs indexed by symbol.
+
+        The encode-side mirror of :meth:`decode_tables`: ``codes`` is
+        ``uint32`` and ``lengths`` ``int64`` (the dtypes the packing
+        kernel consumes directly, so a symbol gather is the only work per
+        emitted code word).  Memoized on the instance; combined with
+        :meth:`CodecContext.code_for_freqs` deduplication this is one
+        build per *distinct* code across a whole time series.
+        """
+        cached = getattr(self, "_encode_tables_cache", None)
+        if cached is None:
+            global ENCODE_TABLE_BUILDS
+            ENCODE_TABLE_BUILDS += 1
+            cached = (
+                np.ascontiguousarray(self.codes, dtype=np.uint32),
+                self.lengths.astype(np.int64),
+            )
+            object.__setattr__(self, "_encode_tables_cache", cached)
+        return cached
+
     def _build_decode_tables(self) -> tuple[np.ndarray, np.ndarray, int]:
         global TABLE_BUILDS
         TABLE_BUILDS += 1
@@ -230,9 +265,11 @@ def encode_symbols(symbols: np.ndarray, code: HuffmanCode) -> tuple[bytes, int]:
         symbols.min() < 0 or symbols.max() >= code.alphabet_size
     ):
         raise ValueError("symbol out of alphabet range")
-    if symbols.size and (code.lengths[symbols] == 0).any():
+    codes_lut, lens_lut = code.encode_tables()
+    lens = lens_lut[symbols]
+    if symbols.size and not lens.all():
         raise ValueError("symbol has no assigned code")
-    return pack_values(code.codes[symbols], code.lengths[symbols])
+    return pack_values(codes_lut[symbols], lens)
 
 
 def decode_symbols(
@@ -278,6 +315,67 @@ def _lane_count(count: int, lanes: int | None) -> int:
     return max(1, min(DEFAULT_LANES, (count + 7) // 8))
 
 
+def interleave_entries(
+    symbols: np.ndarray, code: HuffmanCode, lanes: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Lane-deal ``symbols`` into flat ``(value, bit-width)`` entry arrays.
+
+    Returns ``(values, widths, lane_nbits, k, body_len)``: packing the
+    entries MSB-first yields exactly the interleaved-lane *body* (each
+    lane byte-aligned by a trailing zero-valued pad entry).  Split out of
+    :func:`encode_interleaved` so a caller can concatenate the entries of
+    several streams and pay for one packing pass — the JPEG encoder packs
+    a plane's DC lanes, AC lanes and amplitude stream in one go, slicing
+    the bodies back apart at their (byte-aligned) boundaries.  Symbols
+    are assumed validated against ``code``.
+    """
+    n = symbols.size
+    k = _lane_count(n, lanes)
+    codes_lut, lens_lut = code.encode_tables()
+    # Lane l gets symbols l, l+k, l+2k, ...  Viewing the (zero-padded)
+    # symbol sequence as a (g, k) grid, lane l is column l, so the
+    # lane-major entry layout is just the transposed grid plus one pad
+    # column: everything below is whole-grid gathers and row reductions,
+    # no per-symbol permutation vector.  Grid slots past the sequence end
+    # (short lanes' tails) become width-0 entries, which contribute no
+    # bits; they sit between a short lane's last symbol and its pad
+    # entry, which is equally harmless.
+    base, rem = divmod(n, k)
+    g = base + (1 if rem else 0)  # grid columns per lane
+    if rem:
+        spad = np.zeros(g * k, dtype=symbols.dtype)
+        spad[:n] = symbols
+    else:
+        spad = symbols
+    sview = spad.reshape(g, k).T  # (k, g), no copy
+    values = np.empty(k * (g + 1), dtype=np.uint32)
+    widths = np.empty(k * (g + 1), dtype=np.int64)
+    v2d = values.reshape(k, g + 1)
+    w2d = widths.reshape(k, g + 1)
+    v2d[:, :g] = codes_lut[sview]
+    w2d[:, :g] = lens_lut[sview]
+    if rem:
+        # the padded tail slots of the short lanes carry nothing
+        v2d[rem:, g - 1] = 0
+        w2d[rem:, g - 1] = 0
+    lane_nbits = w2d[:, :g].sum(axis=1)
+    pads = (-lane_nbits) % 8
+    v2d[:, g] = 0
+    w2d[:, g] = pads
+    body_len = int((lane_nbits + pads).sum()) >> 3
+    return values, widths, lane_nbits, k, body_len
+
+
+def interleave_header(lane_nbits: np.ndarray, k: int, body_len: int) -> bytes:
+    """Header bytes for an interleaved-lane blob (see the layout below)."""
+    size = 2 if int(lane_nbits.max(initial=0)) < 1 << 16 else 4
+    return (
+        struct.pack("<BB", k, size)
+        + lane_nbits.astype(f"<u{size}").tobytes()
+        + struct.pack("<I", body_len)
+    )
+
+
 def encode_interleaved(
     symbols: np.ndarray, code: HuffmanCode, lanes: int | None = None
 ) -> bytes:
@@ -296,34 +394,15 @@ def encode_interleaved(
     """
     symbols = np.asarray(symbols)
     n = symbols.size
-    k = _lane_count(n, lanes)
     if n and (symbols.min() < 0 or symbols.max() >= code.alphabet_size):
         raise ValueError("symbol out of alphabet range")
-    lens = code.lengths[symbols].astype(np.int64)
-    if n and not lens.all():
+    if n and not code.encode_tables()[1][symbols].all():
         raise ValueError("symbol has no assigned code")
-    # Lane-major permutation (symbol i -> lane i % k), built by reading a
-    # padded (iters, k) grid column-wise.
-    n_iters = -(-n // k) if n else 0
-    grid = np.arange(n_iters * k).reshape(n_iters, k).T.reshape(-1)
-    perm = grid[grid < n]
-    lane_id = np.arange(n, dtype=np.int64) % k
-    lane_nbits = np.bincount(lane_id, weights=lens, minlength=k).astype(
-        np.int64
+    values, widths, lane_nbits, k, body_len = interleave_entries(
+        symbols, code, lanes
     )
-    pads = (-lane_nbits) % 8
-    # One pack_values pass over all lanes: a zero-valued entry of the pad
-    # width after each lane's last symbol realizes the byte alignment.
-    lane_ends = np.cumsum(np.bincount(lane_id, minlength=k).astype(np.int64))
-    values = np.insert(code.codes[symbols][perm].astype(np.uint64), lane_ends, 0)
-    widths = np.insert(lens[perm], lane_ends, pads)
     body, _ = pack_values(values, widths)
-    fmt = "H" if int(lane_nbits.max(initial=0)) < 1 << 16 else "I"
-    return (
-        struct.pack(f"<BB{k}{fmt}", k, struct.calcsize(fmt), *lane_nbits.tolist())
-        + struct.pack("<I", len(body))
-        + body
-    )
+    return interleave_header(lane_nbits, k, body_len) + body
 
 
 def decode_interleaved(

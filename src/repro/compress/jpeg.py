@@ -35,24 +35,25 @@ from repro.compress.bitio import pack_values, sliding_code_windows, unpack_bits
 from repro.compress.color import (
     downsample_420,
     pad_to_multiple,
-    rgb_to_ycbcr,
+    rgb_to_ycbcr_planes,
     ycbcr_420_planes_to_rgb,
     ycbcr_planes_to_rgb,
 )
 from repro.compress.context import CodecContext
 from repro.compress.dct import (
     BLOCK,
-    blockize,
+    blockize_into,
     dct2_blocks,
+    dct2_strips,
     partial_idct_blocks,
     unblockize,
     zigzag_indices,
 )
 from repro.compress.huffman import (
     HuffmanCode,
-    build_code,
     decode_interleaved,
-    encode_interleaved,
+    interleave_entries,
+    interleave_header,
 )
 
 __all__ = ["JPEGCodec"]
@@ -68,9 +69,43 @@ _ZIGZAG = zigzag_indices()
 _UNZIGZAG = np.argsort(_ZIGZAG)
 
 
+_POW2 = 1 << np.arange(32, dtype=np.int64)
+
+# Grow-only constant widths array: metadata bytes enter the bit sink as
+# width-8 entries, and slicing a shared constant beats allocating a fresh
+# np.full per header section.
+_EIGHTS = np.full(1 << 12, 8, dtype=np.int64)
+
+
+def _meta_entries(raw: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, widths)`` bit-sink entries for literal metadata bytes."""
+    global _EIGHTS
+    if _EIGHTS.size < len(raw):
+        _EIGHTS = np.full(
+            max(len(raw), 2 * _EIGHTS.size), 8, dtype=np.int64
+        )
+    return np.frombuffer(raw, dtype=np.uint8), _EIGHTS[: len(raw)]
+
+
+#: grow-only 0, 1, 2, ... shared by the block-index arithmetic below
+_IOTA = np.arange(1 << 12, dtype=np.int64)
+
+
+def _iota(k: int) -> np.ndarray:
+    global _IOTA
+    if _IOTA.size < k:
+        _IOTA = np.arange(max(k, 2 * _IOTA.size), dtype=np.int64)
+    return _IOTA[:k]
+
+
 def _sizes(values: np.ndarray) -> np.ndarray:
-    """JPEG size category: bits needed for |v| (0 for v == 0)."""
-    return np.ceil(np.log2(np.abs(values).astype(np.float64) + 1.0)).astype(
+    """JPEG size category: bits needed for |v| (0 for v == 0).
+
+    ``bit_length(|v|)`` via binary search over a powers-of-two table —
+    exact integer arithmetic (equal to ``ceil(log2(|v| + 1))``) with no
+    float round-trip.
+    """
+    return np.searchsorted(_POW2, np.abs(values), side="right").astype(
         np.int64
     )
 
@@ -78,7 +113,7 @@ def _sizes(values: np.ndarray) -> np.ndarray:
 def _amplitude_bits(values: np.ndarray, sizes: np.ndarray) -> np.ndarray:
     """One's-complement-style amplitude encoding of signed values."""
     return np.where(values >= 0, values, values + (1 << sizes) - 1).astype(
-        np.uint64
+        np.uint32
     )
 
 
@@ -276,10 +311,15 @@ class JPEGCodec(Codec):
         2 (default) = interleaved-lane entropy streams with the
         vectorized decoder; 1 = the legacy per-token layout.  Both decode
         regardless of this setting.
+    lanes:
+        Explicit lane count ``K`` for the v2 interleaved symbol streams
+        (1..255); ``None`` (default) sizes lanes from the stream length
+        exactly as before.  Any value decodes everywhere — ``K`` travels
+        in the blob header.
     context:
         A shared :class:`~repro.compress.context.CodecContext`; a private
         one is created when omitted, so tables and scratch persist across
-        the frames decoded by this instance either way.
+        the frames encoded or decoded by this instance either way.
     """
 
     name = "jpeg"
@@ -291,18 +331,26 @@ class JPEGCodec(Codec):
         subsample: bool = True,
         fast_decode: int = 0,
         stream_version: int = _V2,
+        lanes: int | None = None,
         context: CodecContext | None = None,
     ):
         if fast_decode not in (0, 1, 2, 3):
             raise ValueError("fast_decode must be 0, 1, 2, or 3")
         if stream_version not in (_V1, _V2):
             raise ValueError("stream_version must be 1 or 2")
+        if lanes is not None and not 1 <= lanes <= 255:
+            raise ValueError("lanes must be in 1..255")
         self.quality = quality
         self.subsample = subsample
         self.fast_decode = fast_decode
         self.stream_version = stream_version
+        self.lanes = lanes
         self._ctx = context if context is not None else CodecContext()
         self._luma_q, self._chroma_q = self._ctx.quant_tables(quality)
+        # Frame-geometry-keyed encode tables (strip->scan maps, tiled
+        # reciprocal quant rows).  Pure functions of (dims, quality), so
+        # they survive use_context() and never need invalidation.
+        self._geom_cache: dict[tuple, np.ndarray] = {}
 
     def use_context(self, context: CodecContext) -> None:
         """Adopt a shared cross-codec context (e.g. one per connection)."""
@@ -334,22 +382,6 @@ class JPEGCodec(Codec):
             raise CodecError(f"jpeg: bad image shape {arr.shape}")
 
         h, w = arr.shape[:2]
-        if gray:
-            planes = [(arr.astype(np.float32), self._luma_q)]
-        else:
-            ycc = rgb_to_ycbcr(arr)
-            y = ycc[..., 0]
-            if self.subsample:
-                cb = downsample_420(ycc[..., 1])
-                cr = downsample_420(ycc[..., 2])
-            else:
-                cb, cr = ycc[..., 1], ycc[..., 2]
-            planes = [
-                (y, self._luma_q),
-                (cb, self._chroma_q),
-                (cr, self._chroma_q),
-            ]
-
         out = [
             _MAGIC,
             struct.pack(
@@ -362,49 +394,331 @@ class JPEGCodec(Codec):
                 1 if self.subsample else 0,
             ),
         ]
-        for plane, qtable in planes:
-            out.append(self._encode_plane(plane, qtable))
+        ctx = self._ctx
+        if gray:
+            planes = [arr.astype(np.float32)]
+            qts = [self._luma_q]
+        else:
+            y, cb, cr = rgb_to_ycbcr_planes(
+                arr,
+                out=ctx.scratch("enc_ycc", (3, h, w), np.float32),
+                tmp=ctx.scratch("enc_ycc_tmp", (4, h, w), np.float32),
+            )
+            if self.subsample:
+                ch, cw = (h + 1) // 2, (w + 1) // 2
+                cb = downsample_420(
+                    cb, out=ctx.scratch("enc_cb", (ch, cw), np.float32)
+                )
+                cr = downsample_420(
+                    cr, out=ctx.scratch("enc_cr", (ch, cw), np.float32)
+                )
+            planes = [y, cb, cr]
+            qts = [self._luma_q, self._chroma_q, self._chroma_q]
+
+        # Level shift → strip-layout DCT → quantize, every plane in slices
+        # of one flat coefficient buffer.  The per-block arithmetic is
+        # identical to a blockize/batched-matmul chain, but blocks never
+        # leave plane layout: the level shift doubles as the copy into the
+        # scratch buffer, both DCT passes are plain GEMMs over strip
+        # views (see dct2_strips), and quantization broadcasts the table
+        # over the (bh, 8, bw, 8) view.  Only the per-plane entropy
+        # streams are separated afterwards.
+        padded = [pad_to_multiple(p, BLOCK) for p in planes]
+        dims = [(p.shape[0] // BLOCK, p.shape[1] // BLOCK) for p in padded]
+        ns = [bh * bw for bh, bw in dims]
+        total = sum(ns)
+        nblk = BLOCK * BLOCK
+        buf = ctx.scratch("enc_coeffs", (total * nblk,), np.float32)
+        tmp = ctx.scratch("enc_dct_tmp", (total * nblk,), np.float32)
+        o = 0
+        for p, (bh, bw), nn, qt in zip(padded, dims, ns, qts):
+            h8, w8 = bh * BLOCK, bw * BLOCK
+            pb = buf[o : o + nn * nblk].reshape(h8, w8)
+            pt = tmp[o : o + nn * nblk].reshape(h8, w8)
+            np.subtract(p, np.float32(128.0), out=pb)
+            dct2_strips(pb, out=pb, tmp=pt)
+            # multiply by the reciprocal table tiled across one strip row:
+            # a whole-plane float divide is measurably slower than the
+            # multiply, and the (8, w8) tile keeps the broadcast's inner
+            # axis contiguous where the (1, 8, 1, 8) table view forces an
+            # 8-element inner loop.
+            q3 = pb.reshape(bh, BLOCK, w8)
+            np.multiply(
+                q3, self._quant_tile(qt is self._luma_q, qt, bw)[None], out=q3
+            )
+            o += nn * nblk
+        np.rint(buf, out=buf)
+
+        if self.stream_version == _V1:
+            # v1 tokenization consumes whole zigzag rows: rearrange each
+            # plane into natural (nblocks, 64) rows, then reorder them.
+            # The v2 path below skips both passes — it maps only the
+            # sparse nonzeros out of the strip layout.
+            o = 0
+            for (bh, bw), nn in zip(dims, ns):
+                size = nn * nblk
+                nat = tmp[o : o + size].reshape(nn, nblk)
+                np.copyto(
+                    nat.reshape(bh, bw, BLOCK, BLOCK),
+                    buf[o : o + size]
+                    .reshape(bh, BLOCK, bw, BLOCK)
+                    .transpose(0, 2, 1, 3),
+                )
+                zz = buf[o : o + size].reshape(nn, nblk)
+                np.take(nat, _ZIGZAG, axis=1, out=zz)
+                out.append(self._encode_plane_v1(zz, bh, bw))
+                o += size
+        else:
+            vparts: list[np.ndarray] = []
+            wparts: list[np.ndarray] = []
+            self._collect_planes_v2(buf, dims, vparts, wparts)
+            out.append(self._pack_frame(vparts, wparts))
         return b"".join(out)
 
-    def _encode_plane(self, plane: np.ndarray, qtable: np.ndarray) -> bytes:
-        padded = pad_to_multiple(plane, BLOCK)
-        blocks, bh, bw = blockize(padded.astype(np.float32) - 128.0)
-        coeffs = dct2_blocks(blocks)
-        quant = np.rint(coeffs / qtable).astype(np.int64)
-        zz = quant.reshape(-1, 64)[:, _ZIGZAG]
-        tokens = _PlaneTokens(zz)
+    def _pack_frame(
+        self, vparts: list[np.ndarray], wparts: list[np.ndarray]
+    ) -> bytes:
+        """Pack every collected v2 plane in one bit-sink pass.
+
+        :meth:`_collect_plane_v2` ends each plane (and each section
+        within it) on a byte boundary, so concatenating all entries and
+        expanding them in a single pass produces exactly the bytes the
+        per-plane joins would.
+        """
+        sink = self._ctx.bitsink("jpeg_frame")
+        sink.write(np.concatenate(vparts), np.concatenate(wparts))
+        buf, _ = sink.payload()
+        return buf
+
+    def _encode_plane_v1(self, zz: np.ndarray, bh: int, bw: int) -> bytes:
+        tokens = _PlaneTokens(zz.astype(np.int32))
         dc_freq, ac_freq = tokens.frequencies()
-        dc_code = build_code(dc_freq)
-        ac_code = build_code(ac_freq)
-        if self.stream_version == _V1:
-            payload, nbits = tokens.pack(dc_code, ac_code)
-            parts = [
-                struct.pack("<IIQ", bh, bw, nbits),
-                dc_code.to_bytes(),
-                ac_code.to_bytes(),
-                struct.pack("<I", len(payload)),
-                payload,
-            ]
-            return b"".join(parts)
-        # v2: separate DC / AC symbol lane streams + one raw amplitude stream
-        is_dc = tokens.context == 0
-        dc_syms = tokens.symbol[is_dc]  # block order (DC leads each block)
-        ac_syms = tokens.symbol[~is_dc]  # stream order within/across blocks
-        amps = np.concatenate([tokens.amp[is_dc], tokens.amp[~is_dc]])
-        sizes = np.concatenate(
-            [tokens.amp_size[is_dc], tokens.amp_size[~is_dc]]
-        )
-        amp_payload, amp_nbits = pack_values(amps, sizes)
+        dc_code = self._ctx.code_for_freqs(dc_freq)
+        ac_code = self._ctx.code_for_freqs(ac_freq)
+        payload, nbits = tokens.pack(dc_code, ac_code)
         parts = [
-            struct.pack("<III", bh, bw, ac_syms.size),
+            struct.pack("<IIQ", bh, bw, nbits),
             dc_code.to_bytes(),
             ac_code.to_bytes(),
-            encode_interleaved(dc_syms, dc_code),
-            encode_interleaved(ac_syms, ac_code),
-            struct.pack("<QI", amp_nbits, len(amp_payload)),
-            amp_payload,
+            struct.pack("<I", len(payload)),
+            payload,
         ]
         return b"".join(parts)
+
+    def _quant_tile(self, luma: bool, qt: np.ndarray, bw: int) -> np.ndarray:
+        """Reciprocal quant table tiled to one strip row, ``(8, bw * 8)``."""
+        key = ("qtile", luma, bw)
+        tile = self._geom_cache.get(key)
+        if tile is None:
+            tile = np.tile(np.float32(1.0) / qt, (1, bw))
+            self._geom_cache[key] = tile
+        return tile
+
+    def _scan_map(
+        self, dims: list[tuple[int, int]], ns: list[int], offs: np.ndarray
+    ) -> np.ndarray:
+        """Flat strip-layout index → global scan position, all planes.
+
+        Entry ``f`` of the concatenated coefficient stack maps to
+        ``block_index * 64 + zigzag_position`` of that coefficient.  A
+        pure function of the block geometry, so successive frames of one
+        stream gather through the same cached table instead of redoing
+        the divmod/zigzag arithmetic per frame.
+        """
+        key = tuple(dims)
+        m = self._geom_cache.get(key)
+        if m is None:
+            parts = []
+            for p, (bh, bw) in enumerate(dims):
+                w8 = bw * BLOCK
+                f = _iota(ns[p] * 64)
+                r = f // w8
+                c = f - r * w8
+                blk = (r >> 3) * bw + (c >> 3)
+                natp = ((r & 7) << 3) | (c & 7)
+                parts.append(((offs[p] + blk) << 6) + _UNZIGZAG[natp])
+            m = np.concatenate(parts)
+            self._geom_cache[key] = m
+        return m
+
+    def _collect_planes_v2(
+        self,
+        buf: np.ndarray,
+        dims: list[tuple[int, int]],
+        vparts: list[np.ndarray],
+        wparts: list[np.ndarray],
+    ) -> None:
+        """Direct vectorized v2 encode of every plane in one global pass.
+
+        The v2 container separates DC symbols, AC symbols and amplitude
+        bits anyway, so instead of building the v1-ordered token stream
+        (:class:`_PlaneTokens`'s lexsort) and filtering it apart again,
+        the three streams are constructed directly: value/ZRL/EOB symbol
+        positions are computed with cumulative sums over the nonzero
+        coefficients and scattered into one flat symbol array.  Output
+        bytes are identical to the filtering path.
+
+        ``buf`` holds every plane's quantized coefficients back to back
+        in *strip layout* (``dims`` gives each plane's block grid; plane
+        element ``[i*8+y, j*8+x]`` is coefficient ``(y, x)`` of block
+        ``(i, j)`` — see :func:`~repro.compress.dct.dct2_strips`).
+        Tokenization runs once over the whole stack — one nonzero scan,
+        one scan-order sort, one run/size pass — because every quantity
+        is per-block and block indices never cross plane boundaries;
+        only DC prediction needs a fix-up (it restarts at each plane's
+        first block).  Per-plane symbol and amplitude streams fall out
+        as slices at the plane block boundaries, and only the per-plane
+        Huffman tables, lane interleave and container metadata remain in
+        the small per-plane loop below.  Only the sparse nonzeros are
+        mapped from strip position to zigzag scan position (and argsorted
+        into scan order — positions are unique, so the unstable sort is
+        deterministic), which skips the dense blockize + 64-wide zigzag
+        ``take`` over the whole coefficient tensor entirely.
+        """
+        ns = [bh * bw for bh, bw in dims]
+        total = sum(ns)
+        offs = np.cumsum([0] + ns)
+        # DC coefficients live at plane position (i*8, j*8) in strip
+        # layout: gather them per plane through a strided view, then zero
+        # them in place (buf is context-owned scratch, consumed by this
+        # pass) so the flat nonzero scan below sees only AC coefficients.
+        dc = np.empty(total, dtype=np.int64)
+        o = 0
+        for p, (bh, bw) in enumerate(dims):
+            pb = buf[o : o + ns[p] * 64].reshape(bh * BLOCK, bw * BLOCK)
+            dcv = pb[::BLOCK, ::BLOCK]
+            np.copyto(
+                dc[offs[p] : offs[p + 1]].reshape(bh, bw),
+                dcv,
+                casting="unsafe",
+            )
+            dcv[...] = 0.0
+            o += ns[p] * 64
+        # np.diff(dc, prepend=0) minus its Python plumbing
+        diffs = np.empty(total, dtype=np.int64)
+        diffs[0] = dc[0]
+        np.subtract(dc[1:], dc[:-1], out=diffs[1:])
+        for o in offs[1:-1]:
+            diffs[o] = dc[o]  # DC prediction restarts on each plane
+        dc_sizes = _sizes(diffs)
+
+        # AC nonzeros via one contiguous flat scan over all planes.  The
+        # float comparison goes through a bool scratch first: nonzero on
+        # a bool array takes a fast path that nonzero-on-float misses by
+        # an order of magnitude.
+        nzmask = self._ctx.scratch("enc_nzmask", (buf.size,), np.bool_)
+        np.not_equal(buf, 0, out=nzmask)
+        idx = np.flatnonzero(nzmask)
+        # Map each flat strip-layout index to its global scan position
+        # (block_index * 64 + zigzag position): one sparse gather through
+        # the geometry-cached translation table.
+        pos = self._scan_map(dims, ns, offs)[idx]
+        order = np.argsort(pos)
+        spos = pos[order]
+        nzb = spos >> 6
+        nzp = (spos & 63) - 1
+        vals = buf[idx].astype(np.int64)[order]
+        # zero-run before each nonzero, within its block
+        prev_pos = np.full(nzb.size, -1, dtype=np.int64)
+        if nzb.size > 1:
+            same = nzb[1:] == nzb[:-1]
+            prev_pos[1:] = np.where(same, nzp[:-1], -1)
+        run = nzp - prev_pos - 1
+        nzrl = run >> 4  # ZRL (16-zero) tokens preceding the value token
+        rem = run & 0xF
+        val_sizes = _sizes(vals)
+        if val_sizes.size and val_sizes.max() > 15:
+            raise CodecError("jpeg: AC coefficient exceeds amplitude range")
+
+        # AC stream positions: per nonzero, its ZRLs then its value token;
+        # one EOB closes each block.  A nonzero's value token sits after
+        # all tokens of earlier nonzeros (cumsum), its own ZRLs, and one
+        # EOB per earlier block; block b's EOB ends its token span.
+        tok = nzrl + 1
+        csum = np.cumsum(tok)
+        # ends[b] = tokens of all nonzeros in blocks <= b, plus one EOB per
+        # block <= b.  nzb is sorted, so the first part is csum at the last
+        # nonzero belonging to a block <= b — a searchsorted, which beats
+        # the bincount(weights=...)/cumsum chain (weighted bincount
+        # accumulates in float64).
+        ends = np.searchsorted(nzb, _iota(total), side="right")
+        if nzb.size:
+            csum0 = np.empty(csum.size + 1, dtype=np.int64)
+            csum0[0] = 0
+            csum0[1:] = csum
+            ends = csum0[ends]
+        ends += _iota(total + 1)[1:]
+        ac_syms = np.full(int(ends[-1]), _ZRL, dtype=np.int64)
+        if nzb.size:
+            ac_syms[csum - 1 + nzb] = (rem << 4) | val_sizes
+        ac_syms[ends - 1] = _EOB
+
+        # Whole-stack amplitude streams; per-plane slices come below.
+        damp = _amplitude_bits(diffs, dc_sizes)
+        vamp = _amplitude_bits(vals, val_sizes)
+        # nonzero-stream boundaries per plane (nzb is sorted)
+        vbound = np.searchsorted(nzb, offs, side="left")
+
+        # Each plane's container — headers, Huffman tables, DC lanes,
+        # AC lanes and the raw amplitude stream (DC diffs then AC values)
+        # — is emitted as one (value, width) entry sequence: metadata
+        # bytes ride along as width-8 entries between the code entries.
+        # Every lane is pad-aligned by interleave_entries and the
+        # amplitude section gets an explicit final pad entry, so each
+        # section starts (and each plane ends) on a byte boundary, which
+        # is what lets encode_image pack all planes in ONE expand/packbits
+        # pass.  (No alphabet validation here: both codes were just built
+        # from these very symbols' frequencies, so every symbol has a
+        # code by construction.)
+        tstart = 0
+        for p, (bh, bw) in enumerate(dims):
+            lo, hi = int(offs[p]), int(offs[p + 1])
+            tend = int(ends[hi - 1])
+            vlo, vhi = int(vbound[p]), int(vbound[p + 1])
+            dsz = dc_sizes[lo:hi]
+            vsz = val_sizes[vlo:vhi]
+            ac_p = ac_syms[tstart:tend]
+            dc_code = self._ctx.code_for_freqs(np.bincount(dsz, minlength=16))
+            ac_code = self._ctx.code_for_freqs(
+                np.bincount(ac_p, minlength=256)
+            )
+            dv, dw, dnb, dk, dlen = interleave_entries(
+                dsz, dc_code, self.lanes
+            )
+            av, aw, anb, ak, alen = interleave_entries(
+                ac_p, ac_code, self.lanes
+            )
+            amp_nbits = int(dsz.sum() + vsz.sum())
+            pad = (-amp_nbits) % 8
+            amp_len = (amp_nbits + pad) >> 3
+            hv, hw = _meta_entries(
+                b"".join(
+                    [
+                        struct.pack("<III", bh, bw, tend - tstart),
+                        dc_code.to_bytes(),
+                        ac_code.to_bytes(),
+                        interleave_header(dnb, dk, dlen),
+                    ]
+                )
+            )
+            mv, mw = _meta_entries(interleave_header(anb, ak, alen))
+            av2, aw2 = _meta_entries(struct.pack("<QI", amp_nbits, amp_len))
+            vparts.extend(
+                [
+                    hv,
+                    dv,
+                    mv,
+                    av,
+                    av2,
+                    damp[lo:hi],
+                    vamp[vlo:vhi],
+                    np.zeros(1, dtype=np.uint32),
+                ]
+            )
+            wparts.extend(
+                [hw, dw, mw, aw, aw2, dsz, vsz, np.asarray([pad], np.int64)]
+            )
+            tstart = tend
 
     # -- decoding ----------------------------------------------------------
 

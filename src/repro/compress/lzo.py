@@ -33,18 +33,90 @@ _MAGIC = b"RLZO"
 _MIN_MATCH = 3
 _MAX_MATCH = 258
 _MAX_DIST = 65535
-_HASH_BITS = 17
+# 16 bits so hashes fit uint16: np.argsort(kind="stable") then radix-sorts
+# the bucket keys, which is over 2x faster than a comparison sort of a
+# combined (hash, position) key.  Window-value equality filters the extra
+# collisions a shorter hash admits.
+_HASH_BITS = 16
 
 
-def _hash_all(arr: np.ndarray) -> np.ndarray:
-    """Fibonacci hash of every 4-byte window, one slot per position."""
-    if arr.size < 4:
-        return np.zeros(0, dtype=np.int64)
-    a = arr.astype(np.uint32)
-    vals = a[:-3] | (a[1:-2] << 8) | (a[2:-1] << 16) | (a[3:] << 24)
-    return ((vals * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)).astype(
-        np.int64
-    )
+_CHUNK = 16  # bytes compared per extension round
+# Greedy parse segment: matches never cross a segment end, so each
+# segment's token chain can be pointer-doubled independently over a
+# 32 KiB domain instead of the whole stream.
+_SEG = 1 << 15
+
+# Shared read-only ramp caches, grown on demand: callers must never
+# mutate the returned slices.
+_IOTA = np.zeros(0, dtype=np.int64)
+_IOTA32 = np.zeros(0, dtype=np.int32)
+_SEGRAMP = np.zeros(0, dtype=np.int32)
+_ITEM_RAMP = np.zeros(0, dtype=np.int64)
+
+
+def _iota(k: int) -> np.ndarray:
+    """``arange(k)`` from a shared read-only cache."""
+    global _IOTA
+    if _IOTA.size < k:
+        _IOTA = np.arange(max(k, 2 * _IOTA.size), dtype=np.int64)
+    return _IOTA[:k]
+
+
+def _iota32(k: int) -> np.ndarray:
+    """``arange(k)`` as int32, from a shared read-only cache."""
+    global _IOTA32
+    if _IOTA32.size < k:
+        _IOTA32 = np.arange(max(k, 2 * _IOTA32.size), dtype=np.int32)
+    return _IOTA32[:k]
+
+
+def _segramp(k: int) -> np.ndarray:
+    """Bytes remaining in the parse segment at each position (incl. it)."""
+    global _SEGRAMP
+    if _SEGRAMP.size < k:
+        i = np.arange(max(k, 2 * _SEGRAMP.size), dtype=np.int32)
+        _SEGRAMP = np.int32(_SEG) - (i & np.int32(_SEG - 1))
+    return _SEGRAMP[:k]
+
+
+def _item_ramp(k: int) -> np.ndarray:
+    """``i + (i >> 3) + 1`` per token: item offset assuming all-literal
+    groups (one flag byte per eight tokens), from a shared cache."""
+    global _ITEM_RAMP
+    if _ITEM_RAMP.size < k:
+        i = np.arange(max(k, 2 * _ITEM_RAMP.size), dtype=np.int64)
+        _ITEM_RAMP = i + (i >> 3) + 1
+    return _ITEM_RAMP[:k]
+
+
+def _extend_matches(
+    arr: np.ndarray, src: np.ndarray, dst: np.ndarray, caps: np.ndarray
+) -> np.ndarray:
+    """Vectorized longest-common-prefix of ``arr[src:]`` vs ``arr[dst:]``.
+
+    All pairs are already verified equal on their first 4 bytes; each
+    round compares one 16-byte chunk per still-active pair through a
+    sliding-window view (two row gathers + one byte-wise comparison), so
+    the round count is ``max_lcp / 16``, not per byte, and pairs drop out
+    of the active set as soon as they mismatch or hit their cap.
+    """
+    m = src.size
+    lcp = np.minimum(np.int64(4), caps)
+    if m == 0:
+        return lcp
+    pad = np.zeros(arr.size + _CHUNK, dtype=np.uint8)
+    pad[: arr.size] = arr
+    win = np.lib.stride_tricks.sliding_window_view(pad, _CHUNK)
+    active = np.flatnonzero(lcp < caps)
+    while active.size:
+        s = src[active] + lcp[active]
+        d = dst[active] + lcp[active]
+        eq = win[s] == win[d]
+        full = eq.all(axis=1)
+        adv = np.where(full, _CHUNK, np.argmin(eq, axis=1))
+        lcp[active] = np.minimum(lcp[active] + adv, caps[active])
+        active = active[full & (lcp[active] < caps[active])]
+    return lcp
 
 
 class LZOCodec(LosslessCodec):
@@ -69,6 +141,35 @@ class LZOCodec(LosslessCodec):
     # -- encoding ----------------------------------------------------------
 
     def encode(self, data: bytes) -> bytes:
+        """Vectorized greedy LZ parse.
+
+        The stream splits into two kinds of positions, resolved by two
+        disjoint vectorized mechanisms:
+
+        1. **Run interiors** — a position strictly inside a constant byte
+           run has a guaranteed distance-1 match whose greedy length is
+           the closed form ``run_end - pos``; no hashing, no search.  On
+           rendered frames this is the overwhelming majority.
+        2. **Run boundaries** — only the remaining positions enter the
+           hash machinery: one stable sort of their window hashes (the
+           sorted bucket *is* the hash chain, nearest prior occurrence
+           adjacent), 4-byte window equality to drop collisions, then
+           :func:`_extend_matches` grows all surviving matches at once
+           in 16-byte rounds.
+
+        The greedy parse itself is the orbit of position 0 under
+        ``i -> i + step(i)`` (``step`` = match length, or 1 for a
+        literal), pointer-doubled per 32 KiB segment
+        (:func:`~repro.compress.scan.orbit_positions` — the exact dual
+        of the vectorized decoder's record walk).  Matches are clamped
+        at segment ends so segments parse independently.  Emission
+        scatters flags, literals and match records in one pass each.
+
+        The stream format is unchanged and every emitted match is
+        verified against the actual bytes, so any decoder (including the
+        seed's) accepts the output; the parse may pick different —
+        typically better — matches than the sequential hash-chain walk.
+        """
         n = len(data)
         header = _MAGIC + struct.pack("<I", n)
         if n < _MIN_MATCH + 1:
@@ -76,80 +177,132 @@ class LZOCodec(LosslessCodec):
             return header + self._encode_all_literals(data)
 
         arr = np.frombuffer(data, dtype=np.uint8)
-        hashes = _hash_all(arr)
-        head = np.full(1 << _HASH_BITS, -1, dtype=np.int64)
-        chain = np.full(n, -1, dtype=np.int64) if self._probes > 1 else None
+        m = n - 3  # positions with a full 4-byte window
 
-        out = bytearray()
-        flags = 0
-        nflags = 0
-        items = bytearray()
-        i = 0
-        hash_limit = hashes.size
-        probes = self._probes
+        # Constant-run geometry: id and distance-to-run-end per position.
+        neq = arr[1:] != arr[:-1]
+        run_id = np.empty(n, dtype=np.intp)
+        run_id[0] = 0
+        np.cumsum(neq, dtype=np.intp, out=run_id[1:])
+        rend = np.append(np.flatnonzero(neq) + 1, n).astype(np.int32)
+        d2e = rend[run_id]
+        d2e -= _iota32(n)
 
-        def flush() -> None:
-            nonlocal flags, nflags
-            out.append(flags << (8 - nflags))
-            out.extend(items)
-            items.clear()
-            flags = 0
-            nflags = 0
+        # Run-interior positions: guaranteed distance-1 match of length
+        # min(d2e, 258, segment remainder) — accepted without search.
+        sm = np.minimum(d2e, _segramp(n))
+        np.minimum(sm, np.int32(_MAX_MATCH), out=sm)
+        auto = sm >= np.int32(_MIN_MATCH)
+        auto[0] = False
+        auto[1:] &= ~neq  # run starts are boundaries, not interiors
+        steps = np.where(auto, sm, np.int32(1))
 
-        while i < n:
-            best_len = 0
-            best_dist = 0
-            if i < hash_limit:
-                h = int(hashes[i])
-                cand = int(head[h])
-                tries = probes
-                max_len = min(_MAX_MATCH, n - i)
-                while cand >= 0 and tries > 0:
-                    # Run-ahead insertion (below) can leave positions >= i in
-                    # the table; they are not valid match sources yet.
-                    if cand < i:
-                        if i - cand > _MAX_DIST:
-                            break  # chain only gets older from here
-                        length = _match_length(data, cand, i, max_len)
-                        if length > best_len:
-                            best_len = length
-                            best_dist = i - cand
-                            if length >= max_len:
-                                break
-                    if chain is None:
-                        break
-                    cand = int(chain[cand])
-                    tries -= 1
+        best_len = np.zeros(n, dtype=np.int32)
+        best_dist = np.ones(n, dtype=np.int32)  # interior matches: dist 1
+        # Boundary set: only these positions need hash-chain probing.
+        bnd = np.flatnonzero(~auto[:m])
+        k = bnd.size
+        matched: list[np.ndarray] = []
+        if k > 1:
+            vals = (
+                arr[bnd].astype(np.uint32)
+                | (arr[bnd + 1].astype(np.uint32) << np.uint32(8))
+                | (arr[bnd + 2].astype(np.uint32) << np.uint32(16))
+                | (arr[bnd + 3].astype(np.uint32) << np.uint32(24))
+            )
+            hashes = (
+                (vals * np.uint32(2654435761))
+                >> np.uint32(32 - _HASH_BITS)
+            ).astype(np.uint16)
+            # Stable sort on the bucket key alone: within a bucket,
+            # sorted neighbors are the nearest prior occurrences.
+            order = np.argsort(hashes, kind="stable")
+            h_sorted = hashes[order]
+            same = np.empty(k, dtype=bool)
+            same[0] = False
+            np.equal(h_sorted[1:], h_sorted[:-1], out=same[1:])
+            ridx = None
+            for probe in range(1, self._probes + 1):
+                if probe == 1:
+                    # ridx >= 1 is just "not a bucket head" — the common
+                    # single-probe level never pays for the full rank scan.
+                    sel = np.flatnonzero(same)
+                else:
+                    if ridx is None:
+                        # index of each sorted slot within its bucket
+                        ridx = np.arange(k, dtype=np.int64)
+                        ridx -= np.maximum.accumulate(
+                            np.where(same, 0, ridx)
+                        )
+                    sel = np.flatnonzero(ridx >= probe)
+                if sel.size == 0:
+                    break
+                pi = order[sel]
+                ci = order[sel - probe]
+                pos = bnd[pi]
+                cand = bnd[ci]
+                dist = pos - cand
+                # Same-hash neighbors whose windows genuinely match (hash
+                # collisions drop out here) and are near enough to encode.
+                ok = (dist <= _MAX_DIST) & (vals[ci] == vals[pi])
+                pos = pos[ok]
+                cand = cand[ok]
+                if pos.size == 0:
+                    continue
+                caps = np.minimum(np.int64(_MAX_MATCH), np.int64(n) - pos)
+                # Pairs that sit entirely inside one constant run have
+                # the closed-form LCP ``run_end - pos`` and skip the
+                # chunked extension loop.
+                in_run = run_id[cand] == run_id[pos + 3]
+                length = np.empty(pos.size, dtype=np.int64)
+                length[in_run] = np.minimum(
+                    d2e[pos[in_run]], caps[in_run]
+                )
+                gen = ~in_run
+                length[gen] = _extend_matches(
+                    arr, cand[gen], pos[gen], caps[gen]
+                )
+                # positions are unique within a probe (order is a
+                # permutation), so plain indexed updates suffice; ties keep
+                # the earlier (nearer) probe's smaller distance via the
+                # strict compare.
+                better = length > best_len[pos]
+                upd = pos[better]
+                best_len[upd] = length[better]
+                best_dist[upd] = dist[ok][better]
+                matched.append(upd)
+        if matched:
+            mm = (
+                matched[0]
+                if len(matched) == 1
+                else np.concatenate(matched)
+            )
+            # Duplicate updates across probes all gather the same final
+            # best_len, so last-write-wins is deterministic.
+            lv = np.minimum(best_len[mm], _segramp(n)[mm])
+            good = lv >= np.int32(_MIN_MATCH)
+            steps[mm[good]] = lv[good]
 
-            if best_len >= _MIN_MATCH:
-                flags = (flags << 1) | 1
-                items += struct.pack("<HB", best_dist, best_len - _MIN_MATCH)
-                # Insert skipped positions into the dictionary (bounded so
-                # long runs stay O(1) per token at level 1).
-                insert_end = min(i + (best_len if probes > 1 else 8), hash_limit)
-                for j in range(i, insert_end):
-                    hj = int(hashes[j])
-                    if chain is not None:
-                        chain[j] = head[hj]
-                    head[hj] = j
-                i += best_len
-            else:
-                flags = flags << 1
-                items.append(data[i])
-                if i < hash_limit:
-                    if chain is not None:
-                        chain[i] = head[h]
-                    head[h] = i
-                i += 1
-            nflags += 1
-            if nflags == 8:
-                flush()
-        if nflags:
-            flush()
-        return header + bytes(out)
+        # Greedy parse: token starts are the orbit of each segment start
+        # under ``i -> i + step(i)``.  Steps never cross a segment end,
+        # so each 32 KiB segment pointer-doubles over its own small
+        # domain (log2(tokens-per-segment) passes of segment-size work).
+        tparts = []
+        for s0 in range(0, n, _SEG):
+            seg = min(_SEG, n - s0)
+            tp = orbit_positions(_iota(seg) + steps[s0 : s0 + seg], seg)
+            if s0:
+                tp += s0
+            tparts.append(tp)
+        tpos = tparts[0] if len(tparts) == 1 else np.concatenate(tparts)
+        tlen = steps[tpos]
+        midx = np.flatnonzero(tlen >= np.int32(_MIN_MATCH))
+        mlen = tlen[midx].astype(np.int64)
+        mdist = best_dist[tpos[midx]].astype(np.int64)
+        return header + _emit_tokens(arr, tpos, midx, mlen, mdist)
 
     @staticmethod
-    def _encode_all_literals(data: bytes) -> bytes:
+    def _encode_all_literals(data: bytes) -> bytes:  # short-input fallback
         out = bytearray()
         for start in range(0, len(data), 8):
             chunk = data[start : start + 8]
@@ -243,18 +396,48 @@ class LZOCodec(LosslessCodec):
         return bytes(out)
 
 
-def _match_length(data: bytes, src: int, dst: int, max_len: int) -> int:
-    """Longest common prefix of data[src:] and data[dst:], capped."""
-    length = 0
-    # Chunked comparison first (C-speed), then the byte tail.
-    while length + 16 <= max_len and (
-        data[src + length : src + length + 16]
-        == data[dst + length : dst + length + 16]
-    ):
-        length += 16
-    while length < max_len and data[src + length] == data[dst + length]:
-        length += 1
-    return length
+def _emit_tokens(
+    arr: np.ndarray,
+    tpos: np.ndarray,
+    midx: np.ndarray,
+    mlen: np.ndarray,
+    mdist: np.ndarray,
+) -> bytes:
+    """Scatter the parsed tokens into the flag-grouped stream layout.
+
+    ``tpos`` are the token start positions in stream order; token
+    ``midx[j]`` is a match of ``mlen[j]`` bytes at distance ``mdist[j]``,
+    every other token a literal.  Every byte position is pure arithmetic
+    over the token sizes (1 literal byte or 3 match bytes, plus one flag
+    byte ahead of each group of eight tokens), so flags, literals and
+    match records each land in one fancy-index store.
+    """
+    t = tpos.size
+    k = midx.size
+    # item offset of token i = i + (i >> 3) + 1 + 2 * (matches before i):
+    # a cached ramp plus a cumsum over the scattered match surcharges.
+    grow = np.zeros(t + 1, dtype=np.int64)
+    grow[midx + 1] = 2
+    ipos = np.cumsum(grow[:t])
+    ipos += _item_ramp(t)
+    out = np.zeros(t + 2 * k + ((t + 7) >> 3), dtype=np.uint8)
+    # Write every token's first byte as its literal, then overwrite the
+    # k match records — cheaper than masking the literals out.
+    out[ipos] = arr[tpos]
+    mp = ipos[midx]
+    out[mp] = mdist & 0xFF
+    out[mp + 1] = mdist >> 8
+    out[mp + 2] = mlen - _MIN_MATCH
+    # Flag bytes, MSB-first within a group of eight tokens; a partial
+    # final group keeps its low bits zero — exactly the sequential
+    # writer's ``flags << (8 - nflags)``.  ``out`` is zero-initialized,
+    # so only the groups that contain a match need a write; group g's
+    # flag byte sits one before its first item (``ipos[8g] - 1``).
+    if k:
+        fb = np.bincount(midx >> 3, weights=np.int64(128) >> (midx & 7))
+        grp = np.flatnonzero(fb)
+        out[ipos[grp << 3] - 1] = fb[grp].astype(np.uint8)
+    return out.tobytes()
 
 
 register_codec("lzo", lambda **kw: LZOCodec(**kw))
