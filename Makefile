@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: help install test lint analyze bench bench-fast bench-smoke serve-smoke faults-smoke reproduce examples clean
+.PHONY: help install test lint analyze bench bench-fast bench-smoke serve-smoke faults-smoke relay-smoke reproduce examples clean
 
 help:
 	@echo "install      pip install -e ."
@@ -10,7 +10,7 @@ help:
 	@echo "lint         concurrency/protocol lint + DT7xx lockset race analysis + lint-marked tests"
 	@echo "analyze      DT7xx static lockset race analyzer alone (src, against the baseline)"
 	@echo "bench        full benchmark suite"
-	@echo "bench-smoke  fast perf guardrails (decode, serve, faults)"
+	@echo "bench-smoke  fast perf guardrails (decode, serve, faults, relay)"
 	@echo "reproduce    regenerate the paper-reproduction report"
 	@echo "examples     run every example script"
 	@echo "clean        remove build/test artifacts"
@@ -43,7 +43,7 @@ bench-fast:
 # Quick decode-throughput guardrail (seconds, not minutes): runs only the
 # perf_smoke-marked tests, which assert order-of-magnitude floors.
 # PYTHONPATH=src so it works from a fresh checkout without `make install`.
-bench-smoke: serve-smoke faults-smoke
+bench-smoke: serve-smoke faults-smoke relay-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/ -m perf_smoke
 
 # Serving-layer guardrail: the fan-out benchmark at tiny scale
@@ -55,6 +55,11 @@ serve-smoke:
 # credit-leak, and reconnect-resume regressions in seconds.
 faults-smoke:
 	PYTHONPATH=src $(PY) -m pytest tests/unit/test_faults_smoke.py -m perf_smoke
+
+# Relay-tier guardrail: one replay-heavy two-relay topology — catches
+# offload, store, prefetch, and ownership-ring regressions in seconds.
+relay-smoke:
+	PYTHONPATH=src $(PY) -m pytest tests/unit/test_relay_smoke.py -m perf_smoke
 
 reproduce:
 	$(PY) examples/reproduce_paper.py

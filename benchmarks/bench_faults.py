@@ -115,6 +115,17 @@ def measure_grid(n_frames: int = 96, n_viewers: int = 2) -> dict:
     cell = _cell_summary(report)
     cell["resumes"] = report["resumes"]
     cells["disconnect_resume"] = cell
+    # the relay-hop cell: same 5% loss / 100 ms jitter weather, but on
+    # the relay→viewer link of an origin → relay → viewers topology —
+    # the relay waits on credits instead of dropping, so this cell
+    # documents what interposing the edge tier does to delivery
+    plan = FaultPlan(seed=SEED, loss_ratio=0.05, jitter_s=0.1)
+    report = run_with_faults(
+        plan, n_frames=n_frames, n_viewers=n_viewers, relays=1
+    )
+    cell = _cell_summary(report)
+    cell["relays"] = report["relays"]
+    cells["relay_hop"] = cell
     return {
         "n_frames": n_frames,
         "n_viewers": n_viewers,

@@ -9,6 +9,8 @@ Commands mirror the workflows a user of the paper's system would run:
 - ``simulate``  one pipeline configuration on a modeled machine;
 - ``serve``     fan one rendered sequence out to N adaptive viewers;
 - ``faults``    serve over a WAN-shaped link with injected faults;
+- ``relay``     serve a replay-heavy viewer pool through one edge relay;
+- ``relay-topology``  a full origin → relay-mesh → viewer-pool scenario;
 - ``lint``      run the repo's concurrency/protocol lint pass.
 """
 
@@ -162,7 +164,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pace", type=float, default=0.03,
                    help="seconds between published frames")
     p.add_argument("--credits", type=int, default=8)
+    p.add_argument("--relays", type=int, default=0,
+                   help="route the scenario through N edge relays (the "
+                        "fault plan moves to the relay→viewer hop)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "relay",
+        help="run one edge relay under a replay-heavy viewer pool and "
+             "print its stats summary",
+    )
+    p.add_argument("--viewers", type=int, default=4)
+    p.add_argument("--frames", type=int, default=48)
+    p.add_argument("--loops", type=int, default=3,
+                   help="timeline passes per viewer (replays are "
+                        "served from the relay store)")
+    p.add_argument("--size", type=int, default=32, help="frame size (square)")
+    p.add_argument("--pace", type=float, default=0.005,
+                   help="seconds between published frames")
+    p.add_argument("--lookahead", type=int, default=16,
+                   help="timeline prefetch window, frames")
+    p.add_argument("--store-mb", type=int, default=32,
+                   help="relay store budget, MiB")
+    p.set_defaults(func=cmd_relay)
+
+    p = sub.add_parser(
+        "relay-topology",
+        help="run an origin → relay-mesh → viewer-pool scenario "
+             "(ownership ring, peer fetch, optional mid-stream kill)",
+    )
+    p.add_argument("--relays", type=int, default=2)
+    p.add_argument("--viewers", type=int, default=8)
+    p.add_argument("--frames", type=int, default=48)
+    p.add_argument("--loops", type=int, default=3)
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--pace", type=float, default=0.005)
+    p.add_argument("--chunk", type=int, default=16,
+                   help="frames per ownership chunk on the hash ring")
+    p.add_argument("--kill-after", type=int, default=None,
+                   help="kill relay0 once any viewer has consumed N "
+                        "frames (its viewers fail over to a peer)")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="loss ratio on the relay→viewer links")
+    p.add_argument("--jitter", type=float, default=0.0,
+                   help="jitter (s) on the relay→viewer links")
+    p.add_argument("--seed", type=int, default=1234)
+    p.set_defaults(func=cmd_relay_topology)
 
     p = sub.add_parser(
         "lint",
@@ -415,7 +462,11 @@ def cmd_faults(args) -> int:
         n_viewers=args.viewers,
         credit_limit=args.credits,
         pace_s=args.pace,
+        relays=args.relays,
     )
+    if args.relays:
+        print(f"topology       : origin -> {args.relays} relay(s) -> viewers "
+              f"(fault plan on the relay→viewer hop)")
     print(f"plan           : loss {plan.loss_ratio * 100:.1f}%  "
           f"latency {plan.latency_s * 1000:.0f}ms  "
           f"jitter {plan.jitter_s * 1000:.0f}ms  "
@@ -436,6 +487,76 @@ def cmd_faults(args) -> int:
               f"{s['skipped']:>6}{s['dropped']:>6}{s['tier']:>6}"
               f"{s['transitions']:>7}{s['reconnects']:>8}"
               f"{s['observed_duplicates']:>6}")
+    return 0
+
+
+def cmd_relay(args) -> int:
+    from repro.relay import PrefetchPolicy, run_relay_topology
+
+    report = run_relay_topology(
+        n_relays=1,
+        n_viewers=args.viewers,
+        n_frames=args.frames,
+        loops=args.loops,
+        size=args.size,
+        pace_s=args.pace,
+        store_bytes=args.store_mb << 20,
+        prefetch=PrefetchPolicy(lookahead=args.lookahead),
+    )
+    for summary in report["summaries"]:
+        print(summary)
+    print(f"workload: {args.viewers} viewers x {args.loops} loops x "
+          f"{args.frames} frames in {report['elapsed_s']:.2f}s")
+    print(f"delivered {report['delivered_ratio'] * 100:.1f}% (worst viewer), "
+          f"{report['duplicates']} dups, {report['skips']} skips; "
+          f"origin offload {report['offload_ratio'] * 100:.1f}%")
+    return 0
+
+
+def cmd_relay_topology(args) -> int:
+    from repro.net.faults import FaultPlan
+    from repro.relay import run_relay_topology
+
+    plan = None
+    if args.loss or args.jitter:
+        plan = FaultPlan(seed=args.seed, loss_ratio=args.loss,
+                         jitter_s=args.jitter)
+    report = run_relay_topology(
+        n_relays=args.relays,
+        n_viewers=args.viewers,
+        n_frames=args.frames,
+        loops=args.loops,
+        size=args.size,
+        pace_s=args.pace,
+        chunk_frames=args.chunk,
+        viewer_plan=plan,
+        kill_relay_after=args.kill_after,
+    )
+    topo = report["topology"]
+    print(f"topology : origin -> {topo['n_relays']} relays "
+          f"(chunk={topo['chunk_frames']}) -> {topo['n_viewers']} viewers"
+          + (f"  [killed {topo['killed']} mid-stream]"
+             if topo["killed"] else ""))
+    print(f"workload : {args.loops} loops x {args.frames} frames, "
+          f"done in {report['elapsed_s']:.2f}s "
+          f"(completed={report['completed']})")
+    print(f"delivery : {report['delivered_ratio'] * 100:.1f}% worst / "
+          f"{report['mean_delivered_ratio'] * 100:.1f}% mean, "
+          f"{report['duplicates']} dups, {report['skips']} skips, "
+          f"{report['failovers']} failovers")
+    print(f"offload  : {report['offload_ratio'] * 100:.1f}% "
+          f"({report['origin_frames']} origin frames for "
+          f"{report['viewer_frames']} viewer frames)")
+    for summary in report["summaries"]:
+        print(summary)
+    header = (f"{'viewer':<10}{'ratio':>8}{'loops':>7}{'dups':>6}"
+              f"{'skips':>7}{'failover':>10}")
+    print(header)
+    for name in sorted(report["viewers"]):
+        v = report["viewers"][name]
+        print(f"{name:<10}{v['delivered_ratio'] * 100:>7.1f}%"
+              f"{v['loops_done']:>7}{v['duplicates']:>6}{v['skips']:>7}"
+              f"{v['failovers']:>10}")
     return 0
 
 

@@ -92,6 +92,12 @@ class FrameMessage(Message):
 
     ``payload`` is ``bytes`` normally, or a zero-copy ``memoryview`` into
     the transport frame when decoded with ``decode_message(..., copy=False)``.
+
+    ``quality`` is the encoder's quality setting, carried so a payload
+    is self-describing as a content address: ``(frame_id, codec,
+    quality)`` is exactly a :class:`~repro.serve.cache.FrameCache` key,
+    which is what lets a relay store forwarded payloads without
+    decoding them.  Pre-existing peers that omit it decode as ``None``.
     """
 
     frame_id: int
@@ -102,6 +108,7 @@ class FrameMessage(Message):
     n_pieces: int = 1
     row_range: tuple[int, int] | None = None
     image_shape: tuple[int, int] | None = None
+    quality: int | None = None
 
     def _kind(self) -> int:
         return _KIND_FRAME
@@ -115,6 +122,7 @@ class FrameMessage(Message):
             "n_pieces": self.n_pieces,
             "row_range": list(self.row_range) if self.row_range else None,
             "image_shape": list(self.image_shape) if self.image_shape else None,
+            "quality": self.quality,
         }
 
     def _payload(self) -> bytes:
@@ -188,6 +196,7 @@ def decode_message(frame: bytes | memoryview, *, copy: bool = True) -> Message:
             image_shape=tuple(header["image_shape"])
             if header.get("image_shape")
             else None,
+            quality=header.get("quality"),
         )
     if kind == _KIND_CONTROL:
         return ControlMessage(tag=header["tag"], params=header.get("params", {}))

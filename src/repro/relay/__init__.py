@@ -1,0 +1,26 @@
+"""WAN edge relay tier: content-addressed frame relays between the
+origin :class:`~repro.serve.broker.SessionBroker` and viewer pools.
+
+A frame crosses the wide-area link once per relay set and is then
+served locally to every viewer behind it — seeks, replays and loops
+never touch the origin again.  See :mod:`repro.relay.daemon` for the
+relay itself, :mod:`repro.relay.ring` for frame-range ownership,
+:mod:`repro.relay.prefetch` for the timeline lookahead, and
+:mod:`repro.relay.topology` for end-to-end scenario harnesses.
+"""
+
+from repro.relay.daemon import FrameRelay, RelaySession
+from repro.relay.prefetch import PrefetchPolicy, TimelinePrefetcher
+from repro.relay.ring import RelayRing
+from repro.relay.stats import RelayStats
+from repro.relay.topology import run_relay_topology
+
+__all__ = [
+    "FrameRelay",
+    "RelaySession",
+    "PrefetchPolicy",
+    "TimelinePrefetcher",
+    "RelayRing",
+    "RelayStats",
+    "run_relay_topology",
+]

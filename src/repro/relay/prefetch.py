@@ -1,0 +1,130 @@
+"""Timeline prefetch: keep the store ahead of every playback cursor.
+
+Time-varying visualization traffic is overwhelmingly *sequential in
+frame id* — viewers play the timeline forward, loop it, or seek and
+play forward again.  The prefetcher exploits exactly that structure:
+each tick it takes every live session's cursor (seeks move cursors, so
+seek patterns feed the window for free), unions a ``lookahead``-sized
+window in front of each, and
+
+1. **pins** every windowed frame already resident in the store, so the
+   cache cannot evict a frame moments before a player needs it (the
+   pins are released as the window slides past);
+2. **requests** the windowed frames that are missing, as speculative
+   fetches routed through the relay's normal ownership logic.
+
+Speculative fills use ``FrameCache.put(..., speculative=True)``: a
+prefetched frame may never displace pinned demand data, so a mis-sized
+window degrades to wasted WAN bytes, never to cache thrash.
+
+The prefetcher is one thread with exclusive private state (its pin
+ledger); everything shared lives behind the relay's and store's own
+locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["PrefetchPolicy", "TimelinePrefetcher"]
+
+
+@dataclass(frozen=True)
+class PrefetchPolicy:
+    """Tunables for the lookahead window."""
+
+    #: frames staged ahead of each playback cursor
+    lookahead: int = 16
+    #: seconds between window recomputations
+    interval_s: float = 0.02
+    #: cap on distinct missing frames requested per tick (bounds the
+    #: burst a pathological seek storm can put on the WAN)
+    max_outstanding: int = 128
+
+    def __post_init__(self):
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be >= 0")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+
+class TimelinePrefetcher:
+    """The relay's background window-maintenance thread.
+
+    All mutable state (``_pinned``) is touched only by the prefetch
+    thread itself; ``stop()`` communicates through an Event.
+    """
+
+    def __init__(self, relay, policy: PrefetchPolicy):
+        self.relay = relay
+        self.policy = policy
+        #: store keys this thread currently holds a pin on, by frame id
+        #: (prefetch-thread private — no lock)
+        self._pinned: dict[tuple, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"{self.relay.name}-prefetch"
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._tick()
+            self._stop.wait(self.policy.interval_s)
+        self._release_all()
+
+    def _window(self) -> list[int]:
+        """Union of per-cursor lookahead ranges, clamped to the stream."""
+        max_seen = self.relay.max_seen()
+        if max_seen < 0 or self.policy.lookahead == 0:
+            return []
+        window: set[int] = set()
+        for cursor in self.relay.prefetch_hints():
+            lo = max(cursor, 0)
+            hi = min(lo + self.policy.lookahead, max_seen + 1)
+            window.update(range(lo, hi))
+        return sorted(window)
+
+    def _tick(self) -> None:
+        relay = self.relay
+        window = self._window()
+        # re-pin the window: resident frames get (or keep) a pin; keys
+        # that slid out of the window release theirs
+        fresh: dict[tuple, int] = {}
+        missing: list[int] = []
+        for fid in window:
+            key = relay.key_for(fid)
+            if key is None:
+                missing.append(fid)
+                continue
+            if key in self._pinned:
+                fresh[key] = fid
+            elif relay.store.pin(key):
+                fresh[key] = fid
+            else:  # meta known but payload evicted: refetch
+                missing.append(fid)
+        for key in self._pinned:
+            if key not in fresh:
+                relay.store.unpin(key)
+        self._pinned = fresh
+        if missing:
+            relay.request_prefetch(missing[: self.policy.max_outstanding])
+
+    def _release_all(self) -> None:
+        store = self.relay.store
+        for key in self._pinned:
+            store.unpin(key)
+        self._pinned = {}

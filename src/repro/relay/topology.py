@@ -1,0 +1,321 @@
+"""End-to-end relay topologies: origin → relay mesh → viewer pools.
+
+``run_relay_topology`` stands up one complete WAN scenario:
+
+- an origin :class:`~repro.serve.broker.SessionBroker` publishes an
+  animated timeline once;
+- ``n_relays`` edge relays hold aggregated upstream sessions to it
+  (each optionally over a fault-shaped WAN link), share a consistent
+  ownership ring, and peer with each other;
+- ``n_viewers`` viewers spread round-robin across the relays play the
+  timeline ``loops`` times (seek-to-0 after each pass) — the
+  **replay-heavy** workload the relay tier exists for: after the first
+  pass every loop is served from relay stores, so origin traffic is
+  ~``n_frames`` per relay while viewer traffic is
+  ``n_viewers × loops × n_frames``;
+- with ``kill_relay_after`` set, one relay is killed abruptly
+  mid-playback and its viewers must fail over to a surviving peer,
+  resuming at exactly the next frame id they need (``resume_from``) —
+  the report counts any duplicate or skipped id each viewer observed.
+
+``n_relays=0`` degenerates to the direct-origin baseline (same looping
+workload, viewers on the broker) used by ``benchmarks/bench_relay.py``
+for the delivered-ratio parity comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.net.faults import FaultPlan
+from repro.relay.daemon import RELAY_RETRY, FrameRelay
+from repro.relay.prefetch import PrefetchPolicy
+from repro.relay.ring import RelayRing
+from repro.serve.broker import SessionBroker
+from repro.serve.fanout import synthetic_frames
+from repro.serve.session import FrameDecodeError
+from repro.serve.tiers import TierLadder
+
+__all__ = ["run_relay_topology"]
+
+
+class _PoolViewer:
+    """A looping viewer that survives the death of its relay by
+    failing over to the next target in its pool.
+
+    Tracks the exact frame-id sequence against the expected timeline
+    (``0..n_frames-1``, ``loops`` times), so a failover that re-delivers
+    or skips even one id shows up in ``duplicates``/``skips``.
+    """
+
+    def __init__(self, targets, start_index: int, name: str,
+                 n_frames: int, loops: int,
+                 plan: FaultPlan | None = None):
+        self.targets = targets  # relays, or [broker] for the baseline
+        self.at = start_index % len(targets)
+        self.name = name
+        self.n_frames = n_frames
+        self.loops = loops
+        self.plan = plan
+        self.expected = 0
+        self.consumed = 0
+        self.duplicates = 0
+        self.skips = 0
+        self.loops_done = 0
+        self.failovers = 0
+        self.decode_errors = 0
+        self._stop = threading.Event()
+        self.handle = self.targets[self.at].join(
+            name,
+            fault_plan=plan,
+            retry=RELAY_RETRY,
+            credit_limit=n_frames + 8,
+        )
+        self.thread = threading.Thread(
+            target=self._run, daemon=True, name=f"{name}-pool-viewer"
+        )
+        self.thread.start()
+
+    @property
+    def done(self) -> bool:
+        return self.loops_done >= self.loops
+
+    def _failover(self) -> bool:
+        """Rejoin somewhere, resuming at exactly the next needed id."""
+        previous = self.at
+        deadline = time.monotonic() + 5.0
+        while not self._stop.is_set() and time.monotonic() < deadline:
+            target = self.targets[self.at]
+            try:
+                self.handle = target.join(
+                    self.name,
+                    fault_plan=self.plan.reconnected() if self.plan else None,
+                    retry=RELAY_RETRY,
+                    resume_from=self.expected,
+                    credit_limit=self.n_frames + 8,
+                )
+            except RuntimeError:
+                # this target is dead/closed: rotate to the next one
+                self.at = (self.at + 1) % len(self.targets)
+                if self.at == previous and len(self.targets) > 1:
+                    self._stop.wait(0.01)
+                continue
+            except ValueError:
+                # same name not reaped yet on this target; wait it out
+                self._stop.wait(0.005)
+                continue
+            if self.at != previous:
+                self.failovers += 1
+            return True
+        return False
+
+    def _on_frame(self, frame_id: int) -> None:
+        if frame_id == self.expected:
+            self.expected += 1
+            self.consumed += 1
+        elif frame_id < self.expected:
+            # a stale in-flight delivery (pre-seek or pre-failover)
+            self.duplicates += 1
+            return
+        else:
+            self.skips += frame_id - self.expected
+            self.expected = frame_id + 1
+            self.consumed += 1
+        if self.expected >= self.n_frames:
+            self.loops_done += 1
+            if self.loops_done < self.loops:
+                self.expected = 0
+                try:
+                    self.handle.seek(0)
+                except ConnectionError:
+                    pass  # the reader loop will fail over and resume
+
+    def _run(self) -> None:
+        while not self._stop.is_set() and not self.done:
+            try:
+                frame = self.handle.next_frame(timeout=0.25)
+            except TimeoutError:
+                continue
+            except ConnectionError:
+                if not self._failover():
+                    return
+                continue
+            except FrameDecodeError:
+                self.decode_errors += 1
+                continue
+            self._on_frame(frame.frame_id)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.thread.join(timeout=5.0)
+        self.handle.leave()
+
+
+def run_relay_topology(
+    *,
+    n_relays: int = 2,
+    n_viewers: int = 4,
+    n_frames: int = 48,
+    loops: int = 2,
+    size: int = 32,
+    pace_s: float = 0.005,
+    ladder: TierLadder | None = None,
+    viewer_plan: FaultPlan | None = None,
+    upstream_plan: FaultPlan | None = None,
+    kill_relay_after: int | None = None,
+    store_bytes: int = 32 << 20,
+    prefetch: PrefetchPolicy | None = None,
+    chunk_frames: int = 16,
+    timeout_s: float = 60.0,
+) -> dict:
+    """One relay-tier scenario end to end; returns its report.
+
+    ``kill_relay_after`` kills the first relay (abruptly, no goodbyes)
+    once any viewer has consumed that many frames; its viewers must
+    fail over.  ``viewer_plan`` shapes every *downstream* link (the
+    direct-baseline equivalent of faultrun's viewer links);
+    ``upstream_plan`` shapes relay→origin links.
+    """
+    if n_relays < 0:
+        raise ValueError("n_relays must be >= 0")
+    if kill_relay_after is not None and n_relays < 2:
+        raise ValueError("kill_relay_after needs at least 2 relays")
+    frames = synthetic_frames(n_frames, size=size)
+    broker = SessionBroker(
+        ladder=ladder,
+        credit_limit=8,
+        history_frames=n_frames,
+    )
+    ring = RelayRing(chunk_frames=chunk_frames) if n_relays > 1 else None
+    relays: list[FrameRelay] = []
+    for i in range(n_relays):
+        name = f"relay{i}"
+        if ring is not None:
+            ring.add(name)
+        relays.append(
+            FrameRelay(
+                name,
+                broker,
+                ring=ring,
+                store_bytes=store_bytes,
+                prefetch=prefetch,
+                upstream_credits=max(32, n_frames + 8),
+                fault_plan=upstream_plan,
+            )
+        )
+    for a in relays:
+        for b in relays:
+            if a is not b:
+                a.connect_peer(b)
+    targets = relays if relays else [broker]
+    viewers = [
+        _PoolViewer(
+            targets,
+            i,
+            f"pool{i:02d}",
+            n_frames,
+            loops,
+            plan=viewer_plan,
+        )
+        for i in range(n_viewers)
+    ]
+
+    killed: str | None = None
+    poll = threading.Event()  # nobody sets it; a sleep the linter can see
+    t0 = time.perf_counter()
+    try:
+        for fid, image in enumerate(frames):
+            broker.publish(image, time_step=fid, frame_id=fid)
+            if pace_s:
+                time.sleep(pace_s)
+        deadline = t0 + timeout_s
+        while (
+            not all(v.done for v in viewers) and time.perf_counter() < deadline
+        ):
+            if (
+                kill_relay_after is not None
+                and killed is None
+                and any(v.consumed >= kill_relay_after for v in viewers)
+            ):
+                killed = relays[0].name
+                relays[0].kill()
+            poll.wait(0.01)
+        elapsed = time.perf_counter() - t0
+        relay_snaps = [
+            r.stats_snapshot() for r in relays if r.name != killed
+        ] + [r.stats_snapshot() for r in relays if r.name == killed]
+    finally:
+        for v in viewers:
+            v.stop()
+        for r in relays:
+            if r.name != killed:
+                r.close()
+        broker.close()
+
+    target_frames = loops * n_frames
+    viewer_report = {}
+    ratios = []
+    for v in viewers:
+        ratio = v.consumed / target_frames if target_frames else 0.0
+        ratios.append(ratio)
+        viewer_report[v.name] = {
+            "delivered_ratio": round(ratio, 4),
+            "consumed": v.consumed,
+            "loops_done": v.loops_done,
+            "duplicates": v.duplicates,
+            "skips": v.skips,
+            "failovers": v.failovers,
+            "decode_errors": v.decode_errors,
+        }
+    viewer_frames = sum(v.consumed for v in viewers)
+    if relays:
+        origin_frames = sum(s.origin_frames for s in relay_snaps)
+        relay_report = {
+            s.name: {
+                "frames_served": s.frames_served,
+                "origin_frames": s.origin_frames,
+                "peer_frames": s.peer_frames,
+                "offload_ratio": round(s.offload_ratio, 4),
+                "store_hits": s.store_hits,
+                "store_waits": s.store_waits,
+                "frames_unavailable": s.frames_unavailable,
+                "prefetch_issued": s.prefetch_issued,
+                "prefetch_fills": s.prefetch_fills,
+                "resumes": s.resumes,
+                "upstream_reconnects": s.upstream_reconnects,
+                "peer_failovers": s.peer_failovers,
+            }
+            for s in relay_snaps
+        }
+    else:  # direct baseline: every viewer frame crossed the WAN
+        origin_frames = viewer_frames
+        relay_report = {}
+    offload = (
+        max(0.0, 1.0 - origin_frames / viewer_frames) if viewer_frames else 0.0
+    )
+    return {
+        "topology": {
+            "n_relays": n_relays,
+            "n_viewers": n_viewers,
+            "n_frames": n_frames,
+            "loops": loops,
+            "chunk_frames": chunk_frames,
+            "killed": killed,
+        },
+        "elapsed_s": round(elapsed, 3),
+        "completed": all(v.done for v in viewers),
+        "delivered_ratio": round(min(ratios), 4) if ratios else 0.0,
+        "mean_delivered_ratio": round(sum(ratios) / len(ratios), 4)
+        if ratios
+        else 0.0,
+        "duplicates": sum(v.duplicates for v in viewers),
+        "skips": sum(v.skips for v in viewers),
+        "failovers": sum(v.failovers for v in viewers),
+        "origin_frames": origin_frames,
+        "viewer_frames": viewer_frames,
+        "offload_ratio": round(offload, 4),
+        "relays": relay_report,
+        "viewers": viewer_report,
+        "summaries": [s.summary() for s in relay_snaps] if relays else [],
+    }

@@ -121,6 +121,7 @@ class SessionBroker:
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         resume_from: int | None = None,
+        credit_limit: int | None = None,
     ) -> ViewerHandle:
         """Admit a viewer; returns its handle (viewer side of the pair).
 
@@ -132,6 +133,14 @@ class SessionBroker:
         flight).  ``fault_plan`` wraps the broker side of the link in a
         :class:`~repro.net.faults.FaultyConnection` so the session is
         served over a WAN-shaped link.
+
+        ``credit_limit`` overrides the broker-wide credit budget for
+        this session alone.  An edge relay (:mod:`repro.relay`) joins
+        as an *aggregated* downstream — one session standing in for a
+        whole viewer pool that acks as fast as it can store — so it
+        gets a deep credit line and the same resume machinery: a relay
+        that reconnects after a WAN cut has its buffered history
+        replayed exactly like any viewer.
         """
         with self._lock:
             if self._closed:
@@ -158,7 +167,7 @@ class SessionBroker:
                 name,
                 conn,
                 self.ladder,
-                credit_limit=self.credit_limit,
+                credit_limit=credit_limit or self.credit_limit,
                 controller=AdaptiveQualityController(
                     self.step_down_after, self.step_up_after
                 ),
@@ -273,6 +282,7 @@ class SessionBroker:
             codec=tier.codec,
             payload=payload,
             image_shape=(image.shape[0], image.shape[1]),
+            quality=tier.quality,
         )
         outcome = session.offer(msg)
         if outcome == "closed":
@@ -390,6 +400,7 @@ class SessionBroker:
                     codec=tier.codec,
                     payload=payload,
                     image_shape=(img.shape[0], img.shape[1]),
+                    quality=tier.quality,
                 )
             )
 

@@ -42,9 +42,14 @@ FAULT_RETRY = RetryPolicy(max_attempts=6, backoff_s=0.002, max_backoff_s=0.05)
 
 class _ResilientViewer:
     """A viewer that consumes frames and survives link cuts by
-    rejoining under its own name and resuming the stream."""
+    rejoining under its own name and resuming the stream.
 
-    def __init__(self, broker: SessionBroker, name: str, plan: FaultPlan,
+    ``broker`` is anything with the broker ``join`` surface — the
+    origin :class:`SessionBroker` or an edge
+    :class:`~repro.relay.daemon.FrameRelay`.
+    """
+
+    def __init__(self, broker, name: str, plan: FaultPlan,
                  reconnect: bool = True):
         self.broker = broker
         self.name = name
@@ -120,6 +125,7 @@ def run_with_faults(
     step_up_after: int = 24,
     reconnect: bool = True,
     drain_timeout: float = 10.0,
+    relays: int = 0,
 ) -> dict:
     """One fault scenario end to end; returns its delivery report.
 
@@ -127,6 +133,14 @@ def run_with_faults(
     loop; every viewer link obeys ``plan``.  The report carries the
     per-session delivered-frame ratio, drop/skip/ack counts, tier
     transitions, reconnects, and client-observed duplicates.
+
+    ``relays`` > 0 routes the scenario through that many edge relays
+    (:class:`~repro.relay.daemon.FrameRelay`): the fault plan moves to
+    the relay→viewer hop — the same link position the direct scenario
+    shapes — while the relay→origin hop stays clean, so the grid cell
+    measures what interposing a relay does to delivery under identical
+    WAN weather.  Viewers rejoin *their relay* on a cut, exercising the
+    relay's resume machinery instead of the broker's.
     """
     frames = synthetic_frames(n_frames, size=size)
     broker = SessionBroker(
@@ -136,8 +150,37 @@ def run_with_faults(
         step_up_after=step_up_after,
         history_frames=max(32, n_frames // 2),
     )
+    relay_pool = []
+    if relays > 0:
+        # local import: repro.serve must stay importable without the
+        # relay package (and this is the only serve -> relay edge)
+        from repro.relay.daemon import FrameRelay
+        from repro.relay.ring import RelayRing
+
+        ring = RelayRing() if relays > 1 else None
+        for i in range(relays):
+            name = f"relay{i}"
+            if ring is not None:
+                ring.add(name)
+            relay_pool.append(
+                FrameRelay(
+                    name,
+                    broker,
+                    ring=ring,
+                    upstream_credits=max(32, n_frames + 8),
+                )
+            )
+        for a in relay_pool:
+            for b in relay_pool:
+                if a is not b:
+                    a.connect_peer(b)
     viewers = [
-        _ResilientViewer(broker, f"wan{i:02d}", plan, reconnect=reconnect)
+        _ResilientViewer(
+            relay_pool[i % len(relay_pool)] if relay_pool else broker,
+            f"wan{i:02d}",
+            plan,
+            reconnect=reconnect,
+        )
         for i in range(n_viewers)
     ]
     t0 = time.perf_counter()
@@ -147,17 +190,24 @@ def run_with_faults(
             if pace_s:
                 time.sleep(pace_s)
         broker.drain(timeout=drain_timeout)
+        for relay in relay_pool:
+            relay.drain(timeout=drain_timeout)
         elapsed = time.perf_counter() - t0
         stats = broker.stats()
+        session_stats = dict(stats.sessions)
+        for relay in relay_pool:
+            session_stats.update(relay.session_stats())
     finally:
         for v in viewers:
             v.stop()
+        for relay in relay_pool:
+            relay.close()
         broker.close()
 
     sessions = {}
     ratios = []
     for v in viewers:
-        s = stats.sessions.get(v.name)
+        s = session_stats.get(v.name)
         if s is None:
             continue
         handled = s.acks + s.frames_skipped
@@ -186,6 +236,7 @@ def run_with_faults(
         },
         "n_frames": n_frames,
         "n_viewers": n_viewers,
+        "relays": relays,
         "elapsed_s": round(elapsed, 3),
         "delivered_ratio": round(min(ratios), 4) if ratios else 0.0,
         "mean_delivered_ratio": round(sum(ratios) / len(ratios), 4)

@@ -1,0 +1,243 @@
+"""FrameCache pinning: refcounts, eviction exemption, speculative fills.
+
+The relay tier shares one store between in-flight deliveries and a
+speculative prefetcher, so the cache grew a pin API: a pinned entry is
+never evicted (a frame mid-send cannot vanish under the sender), and a
+speculative fill that could only fit by displacing pinned entries is
+rejected instead.  The stress tests drive concurrent fill/evict/pin
+traffic under the runtime lock tracer, asserting the invariants a racy
+interleaving would break.
+"""
+
+import threading
+
+import pytest
+
+from repro.devtools.locktrace import checked
+from repro.serve.cache import FrameCache
+
+KB = 1024
+
+
+def k(i: int) -> tuple:
+    return (i, "rle", None)
+
+
+class TestPinSemantics:
+    def test_pin_exempts_from_eviction(self):
+        cache = FrameCache(max_bytes=4 * KB)
+        cache.put(k(0), b"a" * KB)
+        assert cache.pin(k(0))
+        # flood far past the budget: everything else churns out, the
+        # pinned entry stays
+        for i in range(1, 32):
+            cache.put(k(i), b"b" * KB)
+        assert k(0) in cache
+        assert cache.get(k(0)) == b"a" * KB
+        cache.unpin(k(0))
+        for i in range(32, 64):
+            cache.put(k(i), b"c" * KB)
+        assert k(0) not in cache  # evictable again once unpinned
+
+    def test_pin_is_a_refcount(self):
+        cache = FrameCache(max_bytes=4 * KB)
+        cache.put(k(0), b"a" * KB)
+        assert cache.pin(k(0))
+        assert cache.pin(k(0))
+        assert cache.pin_count(k(0)) == 2
+        cache.unpin(k(0))
+        assert cache.pin_count(k(0)) == 1
+        for i in range(1, 16):
+            cache.put(k(i), b"b" * KB)
+        assert k(0) in cache  # one pin is enough
+        cache.unpin(k(0))
+        assert cache.pin_count(k(0)) == 0
+
+    def test_pin_missing_key_returns_false(self):
+        cache = FrameCache(max_bytes=KB)
+        assert not cache.pin(k(99))
+        assert cache.pin_count(k(99)) == 0
+
+    def test_unbalanced_unpin_raises(self):
+        cache = FrameCache(max_bytes=KB)
+        cache.put(k(0), b"x")
+        with pytest.raises(ValueError):
+            cache.unpin(k(0))
+        cache.pin(k(0))
+        cache.unpin(k(0))
+        with pytest.raises(ValueError):
+            cache.unpin(k(0))
+
+    def test_get_pinned_is_atomic_lookup_and_pin(self):
+        cache = FrameCache(max_bytes=4 * KB)
+        cache.put(k(0), b"a" * KB)
+        before = cache.stats_snapshot()
+        assert cache.get_pinned(k(0)) == b"a" * KB
+        assert cache.pin_count(k(0)) == 1
+        assert cache.get_pinned(k(1)) is None  # miss: no pin taken
+        assert cache.pin_count(k(1)) == 0
+        after = cache.stats_snapshot()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses + 1
+        cache.unpin(k(0))
+
+    def test_non_speculative_put_overshoots_when_all_pinned(self):
+        cache = FrameCache(max_bytes=2 * KB)
+        cache.put(k(0), b"a" * KB)
+        cache.put(k(1), b"b" * KB)
+        cache.pin(k(0))
+        cache.pin(k(1))
+        # delivery correctness beats the budget: the fill lands anyway
+        assert cache.put(k(2), b"c" * KB)
+        assert k(2) in cache
+        snap = cache.stats_snapshot()
+        assert snap.current_bytes == 3 * KB > snap.max_bytes
+
+    def test_speculative_put_rejected_when_unpayable(self):
+        cache = FrameCache(max_bytes=2 * KB)
+        cache.put(k(0), b"a" * KB)
+        cache.put(k(1), b"b" * KB)
+        cache.pin(k(0))
+        cache.pin(k(1))
+        assert not cache.put(k(2), b"c" * KB, speculative=True)
+        assert k(2) not in cache
+        snap = cache.stats_snapshot()
+        assert snap.speculative_rejects == 1
+        assert snap.current_bytes == 2 * KB  # rolled back, not overshot
+
+    def test_speculative_put_admitted_by_evicting_unpinned(self):
+        cache = FrameCache(max_bytes=2 * KB)
+        cache.put(k(0), b"a" * KB)
+        cache.put(k(1), b"b" * KB)
+        cache.pin(k(0))
+        assert cache.put(k(2), b"c" * KB, speculative=True)
+        assert k(2) in cache
+        assert k(0) in cache  # pinned survivor
+        assert k(1) not in cache  # the unpinned victim paid for it
+
+    def test_rejected_speculative_refill_restores_old_payload(self):
+        cache = FrameCache(max_bytes=2 * KB)
+        cache.put(k(0), b"old" * 128)  # 384 B, unpinned
+        cache.put(k(1), b"b" * KB)
+        cache.pin(k(1))
+        # a bigger speculative refill of k(0) cannot be paid for (the
+        # only other entry is pinned): rejected, old payload restored
+        assert not cache.put(k(0), b"new" * 512, speculative=True)
+        assert cache.get(k(0)) == b"old" * 128
+        snap = cache.stats_snapshot()
+        assert snap.speculative_rejects == 1
+        assert snap.current_bytes == 384 + KB
+
+    def test_stats_snapshot_reports_pins(self):
+        cache = FrameCache(max_bytes=8 * KB)
+        cache.put(k(0), b"a" * KB)
+        cache.put(k(1), b"b" * (2 * KB))
+        cache.pin(k(0))
+        cache.pin(k(1))
+        cache.pin(k(1))
+        snap = cache.stats_snapshot()
+        assert snap.pinned_entries == 2
+        assert snap.pinned_bytes == 3 * KB
+        cache.unpin(k(0))
+        cache.unpin(k(1))
+        cache.unpin(k(1))
+        assert cache.stats_snapshot().pinned_entries == 0
+
+    def test_clear_drops_pins(self):
+        cache = FrameCache(max_bytes=8 * KB)
+        cache.put(k(0), b"a")
+        cache.pin(k(0))
+        cache.clear()
+        assert cache.pin_count(k(0)) == 0
+        with pytest.raises(ValueError):
+            cache.unpin(k(0))
+
+
+class TestPinStress:
+    """Concurrent fill/evict/pin traffic under the lock tracer."""
+
+    def test_pinned_entries_survive_concurrent_eviction_pressure(self):
+        cache = FrameCache(max_bytes=16 * KB)
+        payload = b"p" * KB
+        stop = threading.Event()
+        start = threading.Barrier(7)
+        failures: list[str] = []
+
+        def pinner(rank: int):
+            # each pinner owns one key: pin it, verify it stays
+            # resident while pinned, unpin, repeat
+            key = k(1000 + rank)
+            start.wait()
+            for _ in range(300):
+                cache.put(key, payload)
+                if not cache.pin(key):
+                    continue  # evicted between put and pin: legal
+                got = cache.get_pinned(key)
+                if got is None:
+                    failures.append(f"pinned {key} evicted")
+                    cache.unpin(key)
+                    break
+                cache.unpin(key)  # the explicit pin
+                cache.unpin(key)  # the get_pinned pin
+            stop.set()
+
+        def filler(rank: int):
+            # churn the keyspace well past the budget the whole time
+            start.wait()
+            i = 0
+            while not stop.is_set():
+                cache.put(k(rank * 100000 + i), payload)
+                i += 1
+
+        def prefetcher(rank: int):
+            start.wait()
+            i = 0
+            while not stop.is_set():
+                cache.put(k(-(rank * 100000 + i) - 1), payload,
+                          speculative=True)
+                i += 1
+
+        with checked(patch_channel=False):
+            threads = (
+                [threading.Thread(target=pinner, args=(r,)) for r in range(2)]
+                + [threading.Thread(target=filler, args=(r,)) for r in range(2)]
+                + [threading.Thread(target=prefetcher, args=(r,)) for r in range(2)]
+            )
+            for t in threads:
+                t.start()
+            start.wait()
+            for t in threads:
+                t.join(timeout=30)
+        assert not failures, failures
+        assert cache.stats_snapshot().pinned_entries == 0
+
+    def test_budget_respected_modulo_pins_under_contention(self):
+        cache = FrameCache(max_bytes=8 * KB)
+        payload = b"q" * KB
+        start = threading.Barrier(4)
+
+        def worker(rank: int):
+            start.wait()
+            for i in range(500):
+                key = k(rank * 100000 + i)
+                cache.put(key, payload, speculative=(i % 3 == 0))
+                if cache.pin(key):
+                    cache.unpin(key)
+
+        with checked(patch_channel=False):
+            threads = [
+                threading.Thread(target=worker, args=(r,)) for r in range(3)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            for t in threads:
+                t.join(timeout=30)
+        snap = cache.stats_snapshot()
+        # nothing is pinned at rest, so the budget must hold exactly
+        assert snap.pinned_entries == 0
+        assert snap.current_bytes <= snap.max_bytes
+        assert snap.current_bytes == sum(
+            len(cache.get(key) or b"")
+            for key in list(cache._entries)
+        )

@@ -1,0 +1,116 @@
+"""RelayRing: deterministic ownership, minimal remap, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.devtools.locktrace import checked
+from repro.relay.ring import RelayRing
+
+NAMES = ["relay0", "relay1", "relay2", "relay3"]
+N_FRAMES = 512
+
+
+class TestOwnership:
+    def test_owner_is_deterministic_across_instances(self):
+        a = RelayRing(NAMES)
+        b = RelayRing(list(reversed(NAMES)))  # insertion order irrelevant
+        assert [a.owner(f) for f in range(N_FRAMES)] == [
+            b.owner(f) for f in range(N_FRAMES)
+        ]
+
+    def test_every_frame_has_exactly_one_owner(self):
+        ring = RelayRing(NAMES)
+        owners = {f: ring.owner(f) for f in range(N_FRAMES)}
+        assert all(o in NAMES for o in owners.values())
+
+    def test_chunks_are_contiguous_frame_runs(self):
+        ring = RelayRing(NAMES, chunk_frames=16)
+        for f in range(N_FRAMES):
+            assert ring.owner(f) == ring.owner((f // 16) * 16)
+
+    def test_ownership_spreads_across_relays(self):
+        ring = RelayRing(NAMES, chunk_frames=1)
+        owners = {ring.owner(f) for f in range(N_FRAMES)}
+        # with vnodes, four relays over 512 chunks all own something
+        assert owners == set(NAMES)
+
+    def test_owned_chunks_partition_the_timeline(self):
+        ring = RelayRing(NAMES, chunk_frames=16)
+        all_chunks = sorted(
+            c for name in NAMES for c in ring.owned_chunks(name, N_FRAMES)
+        )
+        assert all_chunks == list(range(N_FRAMES // 16))
+
+    def test_empty_ring_owns_nothing(self):
+        assert RelayRing().owner(0) is None
+
+
+class TestRemap:
+    def test_removal_only_moves_the_dead_relays_chunks(self):
+        ring = RelayRing(NAMES, chunk_frames=1)
+        before = {f: ring.owner(f) for f in range(N_FRAMES)}
+        ring.remove("relay2")
+        after = {f: ring.owner(f) for f in range(N_FRAMES)}
+        for f in range(N_FRAMES):
+            if before[f] != "relay2":
+                # the consistent-hash guarantee: survivors keep theirs
+                assert after[f] == before[f]
+            else:
+                assert after[f] != "relay2"
+        assert "relay2" not in ring
+
+    def test_add_restores_prior_assignment(self):
+        ring = RelayRing(NAMES, chunk_frames=1)
+        before = {f: ring.owner(f) for f in range(N_FRAMES)}
+        ring.remove("relay1")
+        ring.add("relay1")
+        assert {f: ring.owner(f) for f in range(N_FRAMES)} == before
+
+    def test_duplicate_add_and_missing_remove_are_noops(self):
+        ring = RelayRing(NAMES)
+        ring.add("relay0")
+        assert len(ring) == len(NAMES)
+        ring.remove("ghost")
+        assert ring.relays() == tuple(sorted(NAMES))
+
+
+class TestValidationAndConcurrency:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RelayRing(chunk_frames=0)
+        with pytest.raises(ValueError):
+            RelayRing(vnodes=0)
+
+    def test_concurrent_lookup_during_membership_churn(self):
+        ring = RelayRing(NAMES)
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def lookups():
+            while not stop.is_set():
+                for f in range(0, N_FRAMES, 7):
+                    owner = ring.owner(f)
+                    if owner is not None and owner not in NAMES + ["extra"]:
+                        bad.append(owner)
+
+        def churn():
+            for _ in range(200):
+                ring.remove("relay3")
+                ring.add("relay3")
+                ring.add("extra")
+                ring.remove("extra")
+            stop.set()
+
+        with checked(patch_channel=False):
+            threads = [
+                threading.Thread(target=lookups),
+                threading.Thread(target=lookups),
+                threading.Thread(target=churn),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert not bad
+        assert ring.relays() == tuple(sorted(NAMES))
