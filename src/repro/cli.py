@@ -140,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-viewer delivery credits before drops begin")
     p.add_argument("--synthetic", action="store_true",
                    help="use synthetic frames instead of rendering the dataset")
+    p.add_argument("--shards", type=int, default=1,
+                   help="broker shards behind the consistent-hash "
+                        "session router (1 = single broker)")
+    p.add_argument("--encode-workers", type=int, default=0,
+                   help="encode-pool worker processes for cold cache "
+                        "fills (0 = encode in-process)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -167,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--relays", type=int, default=0,
                    help="route the scenario through N edge relays (the "
                         "fault plan moves to the relay→viewer hop)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="serve through N broker shards behind the "
+                        "session router")
+    p.add_argument("--encode-workers", type=int, default=0,
+                   help="encode-pool worker processes (0 = in-process)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
@@ -388,7 +399,7 @@ def cmd_serve(args) -> int:
     import threading
     import time
 
-    from repro.serve import SessionBroker
+    from repro.serve import SessionBroker, SessionRouter
     from repro.serve.fanout import synthetic_frames
 
     if args.synthetic:
@@ -407,7 +418,15 @@ def cmd_serve(args) -> int:
             for t in range(min(args.frames, dataset.n_steps))
         ]
     n_slow = min(args.slow, args.viewers)
-    with SessionBroker(credit_limit=args.credits) as broker:
+    if args.shards > 1 or args.encode_workers > 0:
+        broker = SessionRouter(
+            shards=args.shards,
+            encode_workers=args.encode_workers,
+            credit_limit=args.credits,
+        )
+    else:
+        broker = SessionBroker(credit_limit=args.credits)
+    with broker:
         fast = [broker.join(f"fast{i}") for i in range(args.viewers - n_slow)]
         slow = [broker.join(f"slow{i}") for i in range(n_slow)]
         stop = threading.Event()
@@ -463,6 +482,8 @@ def cmd_faults(args) -> int:
         credit_limit=args.credits,
         pace_s=args.pace,
         relays=args.relays,
+        shards=args.shards,
+        encode_workers=args.encode_workers,
     )
     if args.relays:
         print(f"topology       : origin -> {args.relays} relay(s) -> viewers "

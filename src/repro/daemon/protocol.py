@@ -44,6 +44,9 @@ CONTROL_TAGS: frozenset[str] = frozenset(
         "leave",
         # broker -> viewer notifications
         "tier",
+        # resume fell off the retained history window: ids in
+        # [params["from"], params["to"]) are unrecoverable
+        "gap",
         # user controls (§5 remote callbacks)
         "view",
         "zoom",

@@ -14,7 +14,11 @@ A new subsystem layered over the §4.1 daemon/transport stack for the
   skipping) driven by credit-based backpressure instead of blind
   broadcast;
 - :class:`~repro.serve.stats.ServeStats` — the operator surface:
-  per-session sent/dropped/bytes, cache hit ratio, tier transitions.
+  per-session sent/dropped/bytes, cache hit ratio, tier transitions;
+- :class:`~repro.serve.shard.SessionRouter` /
+  :class:`~repro.serve.encode_pool.EncodePool` — the scale-out layer:
+  N broker shards behind consistent-hash session routing, with cold
+  encodes on a shared-memory multi-process worker pool.
 
 ``repro.serve.fanout`` measures delivered frames/sec against viewer
 count (the ``bench_serve_fanout`` benchmark and ``make serve-smoke``).
@@ -22,8 +26,10 @@ count (the ``bench_serve_fanout`` benchmark and ``make serve-smoke``).
 
 from repro.serve.broker import SessionBroker
 from repro.serve.cache import FrameCache
+from repro.serve.encode_pool import EncodeFailed, EncodePool
 from repro.serve.fanout import measure_fanout, run_fanout, synthetic_frames
 from repro.serve.faultrun import run_with_faults, sweep_faults
+from repro.serve.shard import SessionRouter, shard_for
 from repro.serve.session import (
     AdaptiveQualityController,
     FrameDecodeError,
@@ -36,6 +42,10 @@ from repro.serve.tiers import QualityTier, TierLadder, default_ladder
 
 __all__ = [
     "SessionBroker",
+    "SessionRouter",
+    "shard_for",
+    "EncodePool",
+    "EncodeFailed",
     "FrameCache",
     "QualityTier",
     "TierLadder",

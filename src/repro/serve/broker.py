@@ -68,6 +68,12 @@ class SessionBroker:
         :class:`~repro.serve.session.AdaptiveQualityController`).
     history_frames:
         How many recent raw frames are kept for ``seek``/resume replay.
+    encode_pool:
+        A shared :class:`~repro.serve.encode_pool.EncodePool`; cold
+        cache fills are encoded on its worker processes instead of the
+        calling broker thread (the broker never owns or closes it).
+    name:
+        Label for this broker (shards are ``shard0``, ``shard1``, …).
     """
 
     def __init__(
@@ -78,8 +84,12 @@ class SessionBroker:
         step_down_after: int = 2,
         step_up_after: int = 16,
         history_frames: int = 32,
+        encode_pool=None,
+        name: str = "broker",
     ):
         self.ladder = ladder or default_ladder()
+        self.name = name
+        self.encode_pool = encode_pool
         self.cache = FrameCache(cache_bytes)
         self.credit_limit = credit_limit
         self.step_down_after = step_down_after
@@ -111,6 +121,12 @@ class SessionBroker:
         self.unknown_controls = 0  # guarded-by: _lock
         #: sessions resumed after an unclean disconnect
         self.resumes = 0  # guarded-by: _lock
+        #: resumes whose start point fell off the retained history
+        #: window — the viewer was sent an explicit ``gap`` signal
+        self.resume_gaps = 0  # guarded-by: _lock
+        #: pool encodes that fell back to the calling thread (pool
+        #: closed or timed out underneath a cold fill)
+        self.encode_pool_fallbacks = 0  # guarded-by: _encode_lock
 
     # -- membership ---------------------------------------------------------
 
@@ -292,12 +308,33 @@ class SessionBroker:
     def _payload(
         self, frame_id: int, tier: QualityTier, image: np.ndarray
     ) -> bytes:
-        def encode() -> bytes:
+        key = tier.cache_key(frame_id)
+
+        def encode_inline() -> bytes:
             with self._encode_lock:
                 self.encodes += 1
                 return self._encoder(tier).encode_image(image)
 
-        return self.cache.get_or_encode(tier.cache_key(frame_id), encode)
+        if self.encode_pool is None:
+            return self.cache.get_or_encode(key, encode_inline)
+
+        def encode_pooled() -> bytes:
+            # the cache key is the content address: concurrent misses
+            # on the same key (here or on another shard sharing this
+            # pool) coalesce onto one worker encode
+            try:
+                payload = self.encode_pool.encode(
+                    image, tier.codec, tier.quality, key=key
+                )
+            except RuntimeError:  # pool closed underneath us: go inline
+                with self._encode_lock:
+                    self.encode_pool_fallbacks += 1
+                return encode_inline()
+            with self._encode_lock:
+                self.encodes += 1
+            return payload
+
+        return self.cache.get_or_encode(key, encode_pooled)
 
     def _encoder(self, tier: QualityTier) -> Codec:
         key = (tier.codec, tier.quality)
@@ -380,12 +417,32 @@ class SessionBroker:
         Inlines delivery (no :meth:`leave` — that needs the lock) and
         arms the session's resume guard with every replayed id so a
         publish racing the rejoin cannot deliver one of them twice.
+
+        A resume point that fell off the retained history window gets
+        an explicit ``gap`` control — frame ids in ``[from, to)`` are
+        unrecoverable — instead of a silent skip: the no-dup-no-skip
+        guarantee only holds inside the window, and the viewer must be
+        able to tell "nothing was published" from "history was lost".
         """
         window = [
             (fid, ts, img)
             for fid, (ts, img) in self._history.items()
             if fid >= from_frame
         ]
+        replay_start = min(
+            (fid for fid, _, _ in window), default=self._frame_counter
+        )
+        if from_frame < replay_start:
+            self.resume_gaps += 1
+            try:
+                session.conn.send(
+                    ControlMessage(
+                        tag="gap",
+                        params={"from": from_frame, "to": replay_start},
+                    ).encode()
+                )
+            except ChannelClosed:
+                return
         session.arm_resume_guard(fid for fid, _, _ in window)
         for fid, ts, img in window:
             tier = self.ladder[session.current_tier_index()]
@@ -421,6 +478,7 @@ class SessionBroker:
             malformed = self.malformed_controls
             unknown = self.unknown_controls
             resumes = self.resumes
+            resume_gaps = self.resume_gaps
         with self._encode_lock:
             encodes = self.encodes
         cache = self.cache.stats_snapshot()
@@ -436,6 +494,7 @@ class SessionBroker:
             malformed_controls=malformed,
             unknown_controls=unknown,
             resumes=resumes,
+            resume_gaps=resume_gaps,
         )
 
     def drain(self, timeout: float = 5.0, names: list[str] | None = None) -> bool:
@@ -444,18 +503,25 @@ class SessionBroker:
 
         Event-driven: sleeps on a condition the ack pump notifies, so an
         idle drain costs no CPU and wakes the instant the last credit
-        returns.
+        returns.  The membership snapshot is taken once at entry, and a
+        session leaves the working set the first time it is seen idle —
+        every ack wakeup then re-checks only the still-busy tail, so a
+        V-viewer drain costs O(V) idle checks total instead of O(V) per
+        ack (which was O(V²) per pass and the dominant drain cost at
+        64+ viewers).  Publishes concurrent with ``drain`` race it
+        under either scheme; the caller owns that ordering.
         """
         deadline = time.monotonic() + timeout
         with self._ack_cond:
+            with self._lock:
+                pending = [
+                    s
+                    for s in self._sessions.values()
+                    if names is None or s.name in names
+                ]
             while True:
-                with self._lock:
-                    sessions = [
-                        s
-                        for s in self._sessions.values()
-                        if names is None or s.name in names
-                    ]
-                if all(s.idle() for s in sessions):
+                pending = [s for s in pending if not s.idle()]
+                if not pending:
                     return True
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:

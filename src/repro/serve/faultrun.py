@@ -59,6 +59,8 @@ class _ResilientViewer:
         self.duplicates = 0
         self.decode_errors = 0
         self.reconnects = 0
+        #: gap ranges accumulated across the handles this viewer used up
+        self.gap_ranges: list[tuple[int, int]] = []
         self._stop = threading.Event()
         self.handle = broker.join(name, fault_plan=plan, retry=FAULT_RETRY)
         self.thread = threading.Thread(target=self._run, daemon=True)
@@ -69,6 +71,7 @@ class _ResilientViewer:
 
     def _rejoin(self) -> bool:
         """Re-establish the session; returns False when giving up."""
+        self.gap_ranges.extend(self.handle.gaps)
         deadline = time.monotonic() + 5.0
         while not self._stop.is_set() and time.monotonic() < deadline:
             try:
@@ -109,6 +112,7 @@ class _ResilientViewer:
     def stop(self) -> None:
         self._stop.set()
         self.thread.join(timeout=5.0)
+        self.gap_ranges.extend(self.handle.gaps)
         self.handle.leave()
 
 
@@ -126,6 +130,8 @@ def run_with_faults(
     reconnect: bool = True,
     drain_timeout: float = 10.0,
     relays: int = 0,
+    shards: int = 1,
+    encode_workers: int = 0,
 ) -> dict:
     """One fault scenario end to end; returns its delivery report.
 
@@ -141,15 +147,30 @@ def run_with_faults(
     measures what interposing a relay does to delivery under identical
     WAN weather.  Viewers rejoin *their relay* on a cut, exercising the
     relay's resume machinery instead of the broker's.
+
+    ``shards`` > 1 serves the scenario through a
+    :class:`~repro.serve.shard.SessionRouter` instead of a single
+    broker — session names route to their owning shard, and a rejoin
+    after a cut lands back on the shard holding the parked resume
+    state.  ``encode_workers`` > 0 adds the multi-process encode pool
+    under either topology.
     """
     frames = synthetic_frames(n_frames, size=size)
-    broker = SessionBroker(
+    common = dict(
         ladder=ladder,
         credit_limit=credit_limit,
         step_down_after=step_down_after,
         step_up_after=step_up_after,
         history_frames=max(32, n_frames // 2),
     )
+    if shards > 1 or encode_workers > 0:
+        from repro.serve.shard import SessionRouter
+
+        broker = SessionRouter(
+            shards=shards, encode_workers=encode_workers, **common
+        )
+    else:
+        broker = SessionBroker(**common)
     relay_pool = []
     if relays > 0:
         # local import: repro.serve must stay importable without the
@@ -224,6 +245,7 @@ def run_with_faults(
             "reconnects": s.reconnects,
             "observed_duplicates": v.duplicates,
             "decode_errors": v.decode_errors,
+            "gaps": len(v.gap_ranges),
         }
     return {
         "plan": {
@@ -237,6 +259,7 @@ def run_with_faults(
         "n_frames": n_frames,
         "n_viewers": n_viewers,
         "relays": relays,
+        "shards": shards,
         "elapsed_s": round(elapsed, 3),
         "delivered_ratio": round(min(ratios), 4) if ratios else 0.0,
         "mean_delivered_ratio": round(sum(ratios) / len(ratios), 4)
@@ -244,6 +267,7 @@ def run_with_faults(
         else 0.0,
         "malformed_controls": stats.malformed_controls,
         "resumes": stats.resumes,
+        "resume_gaps": stats.resume_gaps,
         "sessions": sessions,
     }
 

@@ -260,12 +260,13 @@ class ViewerSession:
 
 @dataclass(frozen=True)
 class ServedFrame:
-    """One frame as the viewer receives it."""
+    """One frame as the viewer receives it (``image`` is None when the
+    handle was asked not to decode)."""
 
     frame_id: int
     time_step: int
     codec: str
-    image: np.ndarray
+    image: np.ndarray | None
     payload_bytes: int
 
 
@@ -288,6 +289,12 @@ class ViewerHandle:
         self.current_tier: str | None = None
         #: True when this handle continues an earlier session's stream
         self.resumed = resumed
+        #: ``(from, to)`` half-open id ranges the broker declared
+        #: unrecoverable at resume (history evicted past our cursor) —
+        #: the explicit signal that replaces a silent no-dup-no-skip
+        #: violation.  Appended by the ``next_frame`` thread; read it
+        #: from that consumer (or after the handle stops consuming).
+        self.gaps: list[tuple[int, int]] = []
         self._closed = False
 
     def _decoder(self, name: str) -> Codec:
@@ -299,13 +306,21 @@ class ViewerHandle:
             self._codecs[name] = codec
         return codec
 
-    def next_frame(self, timeout: float | None = 5.0) -> ServedFrame:
+    def next_frame(
+        self, timeout: float | None = 5.0, *, decode: bool = True
+    ) -> ServedFrame:
         """Receive, decode, and ack the next frame.
 
         A frame mangled in flight raises :class:`FrameDecodeError`
         (whether the corruption hit the message envelope or the
         compressed payload); timeouts and closed connections keep their
         own exception types so callers can tell the three apart.
+
+        ``decode=False`` acks without decompressing and returns the
+        frame with ``image=None`` — for consumers that only need the
+        stream's pacing (load generators, relays auditing delivery),
+        where decoding every payload would measure the consumer's CPU
+        instead of the server's.
         """
         while True:
             raw = self.conn.recv(timeout=timeout)
@@ -314,15 +329,19 @@ class ViewerHandle:
             except ProtocolError as exc:
                 raise FrameDecodeError(f"undecodable message: {exc}") from exc
             if isinstance(msg, FrameMessage):
-                try:
-                    image = self._decoder(msg.codec).decode_image(msg.payload)
-                except Exception as exc:
-                    # any decoder failure on a wire-corrupted payload is
-                    # re-raised typed — never swallowed, never broad at
-                    # the call sites that count it
-                    raise FrameDecodeError(
-                        f"frame {msg.frame_id} ({msg.codec}): {exc}"
-                    ) from exc
+                image = None
+                if decode:
+                    try:
+                        image = self._decoder(msg.codec).decode_image(
+                            msg.payload
+                        )
+                    except Exception as exc:
+                        # any decoder failure on a wire-corrupted payload
+                        # is re-raised typed — never swallowed, never
+                        # broad at the call sites that count it
+                        raise FrameDecodeError(
+                            f"frame {msg.frame_id} ({msg.codec}): {exc}"
+                        ) from exc
                 self._ack(msg.frame_id)
                 return ServedFrame(
                     frame_id=msg.frame_id,
@@ -333,7 +352,14 @@ class ViewerHandle:
                 )
             if isinstance(msg, ControlMessage) and msg.tag == "tier":
                 self.current_tier = msg.params.get("tier")
-            # other control traffic is broker bookkeeping
+            elif isinstance(msg, ControlMessage) and msg.tag == "gap":
+                self.gaps.append(
+                    (msg.params.get("from", 0), msg.params.get("to", 0))
+                )
+            else:
+                # other control traffic is broker bookkeeping; keep
+                # consuming until a frame arrives
+                continue
 
     def _ack(self, frame_id: int) -> None:
         try:
