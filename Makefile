@@ -7,8 +7,8 @@ PY ?= python3
 help:
 	@echo "install      pip install -e ."
 	@echo "test         full test suite"
-	@echo "lint         concurrency/protocol lint + DT7xx lockset race analysis + lint-marked tests"
-	@echo "analyze      DT7xx static lockset race analyzer alone (src, against the baseline)"
+	@echo "lint         concurrency/protocol lint + DT7xx lockset + DT8xx resource-flow + lint-marked tests"
+	@echo "analyze      DT7xx lockset + DT8xx resource-flow analyzers alone (src, against the baselines)"
 	@echo "bench        full benchmark suite"
 	@echo "bench-smoke  fast perf guardrails (decode, serve, shards, faults, relay)"
 	@echo "reproduce    regenerate the paper-reproduction report"
@@ -22,17 +22,20 @@ test:
 	$(PY) -m pytest tests/
 
 # Repo-specific static checks (rule catalogue in docs/devtools.md) plus
-# the tests that pin the rules and the lock-order detector themselves.
-# `repro lint` runs the DT1xx-DT6xx rules AND the DT7xx lockset race
-# analyzer (filtered through lockset_baseline.json) in one pass.
+# the tests that pin the rules and the analyzers themselves.
+# `repro lint` runs the DT1xx-DT6xx rules, the DT7xx lockset race
+# analyzer (filtered through lockset_baseline.json), AND the DT8xx
+# resource-lifecycle analyzer (filtered through
+# resourceflow_baseline.json) in one pass.
 lint:
 	PYTHONPATH=src $(PY) -m repro lint src tests
 	PYTHONPATH=src $(PY) -m pytest tests/ -m lint
 
-# The lockset analyzer alone — useful while triaging a finding or
-# refreshing the baseline (`make analyze` then `repro lint --update-baseline`).
+# The deep analyzers alone — useful while triaging a finding or
+# refreshing a baseline (`make analyze` then `repro lint --update-baseline`).
 analyze:
 	PYTHONPATH=src $(PY) -c "import sys; from repro.devtools.lockset import main; sys.exit(main(['src']))"
+	PYTHONPATH=src $(PY) -c "import sys; from repro.devtools.resource_flow import main; sys.exit(main(['src']))"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

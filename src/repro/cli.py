@@ -224,8 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the concurrency/protocol lint pass and the DT7xx "
-             "lockset race analyzer (see docs/devtools.md)",
+        help="run the concurrency/protocol lint pass, the DT7xx lockset "
+             "race analyzer, and the DT8xx resource-lifecycle analyzer "
+             "(see docs/devtools.md)",
     )
     p.add_argument("paths", nargs="*", default=["src", "tests"],
                    help="files or directories to lint (default: src tests)")
@@ -233,12 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalogue and exit")
     p.add_argument("--no-lockset", action="store_true",
                    help="skip the DT7xx lockset analysis pass")
+    p.add_argument("--no-resourceflow", action="store_true",
+                   help="skip the DT8xx resource-lifecycle pass")
     p.add_argument("--baseline", default=None,
                    help="lockset baseline file (default: lockset_baseline.json)")
+    p.add_argument("--rf-baseline", default=None,
+                   help="resource-flow baseline file "
+                        "(default: resourceflow_baseline.json)")
     p.add_argument("--no-baseline", action="store_true",
-                   help="ignore the lockset baseline and report everything")
+                   help="ignore both baselines and report everything")
     p.add_argument("--update-baseline", action="store_true",
-                   help="rewrite the lockset baseline from current findings")
+                   help="rewrite both baselines from current findings")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as machine-readable JSON")
+    p.add_argument("--fail-on-stale", action="store_true",
+                   help="exit non-zero when a baseline has stale entries")
     p.set_defaults(func=cmd_lint)
 
     return parser
@@ -589,12 +599,20 @@ def cmd_lint(args) -> int:
         argv.append("--list-rules")
     if args.no_lockset:
         argv.append("--no-lockset")
+    if args.no_resourceflow:
+        argv.append("--no-resourceflow")
     if args.baseline is not None:
         argv.extend(["--baseline", args.baseline])
+    if args.rf_baseline is not None:
+        argv.extend(["--rf-baseline", args.rf_baseline])
     if args.no_baseline:
         argv.append("--no-baseline")
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.json:
+        argv.append("--json")
+    if args.fail_on_stale:
+        argv.append("--fail-on-stale")
     return lint.main(argv)
 
 

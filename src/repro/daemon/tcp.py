@@ -179,17 +179,23 @@ class TcpDaemonServer:
             else handshake_timeout_s
         )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen()
-        self.address: tuple[str, int] = self._listener.getsockname()
-        self._closed = False  # guarded-by: none -- one-way flag, set only by close()
-        self._lock = threading.Lock()
-        #: peers dropped during the handshake, by failure class
-        self.reject_reasons: dict[str, int] = {}  # guarded-by: _lock
-        self._handshake_threads: list[threading.Thread] = []  # guarded-by: _lock
-        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
-        self._accept_thread.start()
+        try:
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen()
+            self.address: tuple[str, int] = self._listener.getsockname()
+            self._closed = False  # guarded-by: none -- one-way flag, set only by close()
+            self._lock = threading.Lock()
+            #: peers dropped during the handshake, by failure class
+            self.reject_reasons: dict[str, int] = {}  # guarded-by: _lock
+            self._handshake_threads: list[threading.Thread] = []  # guarded-by: _lock
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True)
+            self._accept_thread.start()
+        except BaseException:
+            # bind/listen failure (port in use) must not leak the fd
+            self._listener.close()
+            raise
 
     @property
     def handshake_rejects(self) -> int:
@@ -287,15 +293,22 @@ def connect_daemon(
     if role not in ("renderer", "display"):
         raise ValueError(f"unknown role {role!r}")
     sock = socket.create_connection(address, timeout=timeout)
-    sock.settimeout(None)
-    conn = TcpConnection(sock, name=name or role)
-    conn.send(HelloMessage(role=role, name=name).encode())
-    # Wait for the server's registration ack (and keep it out of the
-    # interface's stream).
-    ack = decode_message(conn.recv(timeout=timeout))
-    if not isinstance(ack, HelloMessage) or ack.role != "daemon":
+    try:
+        sock.settimeout(None)
+        conn = TcpConnection(sock, name=name or role)
+    except BaseException:
+        sock.close()
+        raise
+    try:
+        conn.send(HelloMessage(role=role, name=name).encode())
+        # Wait for the server's registration ack (and keep it out of the
+        # interface's stream).
+        ack = decode_message(conn.recv(timeout=timeout))
+        if not isinstance(ack, HelloMessage) or ack.role != "daemon":
+            raise ChannelClosed("daemon did not acknowledge registration")
+        # the ack is connection bookkeeping, not traffic the caller sent for
+        conn.traffic.unlog_received()
+    except BaseException:
         conn.close()
-        raise ChannelClosed("daemon did not acknowledge registration")
-    # the ack is connection bookkeeping, not traffic the caller sent for
-    conn.traffic.unlog_received()
+        raise
     return conn

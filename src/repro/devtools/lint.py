@@ -29,10 +29,15 @@ rule        meaning
 
 The CLI also runs the ``DT701``–``DT704`` static lockset race analyzer
 from :mod:`repro.devtools.lockset` (guarded-by inference over
-``self._*`` fields), filtered through a committed baseline of
-grandfathered findings; see that module and ``docs/devtools.md`` for the
-rule catalogue and the ``--baseline`` / ``--no-baseline`` /
-``--update-baseline`` workflow.
+``self._*`` fields) and the ``DT801``–``DT804`` resource-lifecycle
+analyzer from :mod:`repro.devtools.resource_flow` (exception-edge leak,
+double-close, use-after-close, close-graph completeness), each filtered
+through its own committed baseline of grandfathered findings; see those
+modules and ``docs/devtools.md`` for the rule catalogues and the
+``--baseline`` / ``--rf-baseline`` / ``--no-baseline`` /
+``--update-baseline`` workflow.  ``--json`` emits the combined findings
+machine-readably; ``--fail-on-stale`` turns stale baseline entries into
+a failing exit.
 
 Escape hatch: append ``# lint: disable=DT201`` (comma-separated ids, or
 ``all``) to the offending line.  Run with ``repro lint [paths...]`` or
@@ -63,9 +68,16 @@ RULES: dict[str, str] = {
 }
 
 #: modules whose behaviour must be a pure function of their inputs and
-#: seeds: the fault injector (reproducible WAN traces) and the codecs
-#: (golden-bytes format stability).  DT401 applies only here.
-DETERMINISTIC_PATH_MARKERS = ("repro/compress/", "repro/net/faults.py")
+#: seeds: the fault injector (reproducible WAN traces), the codecs
+#: (golden-bytes format stability), the relay tier (deterministic
+#: failover/replay traces), and the encode pool (exact crash replay).
+#: DT401 applies only here.
+DETERMINISTIC_PATH_MARKERS = (
+    "repro/compress/",
+    "repro/net/faults.py",
+    "repro/relay/",
+    "repro/serve/encode_pool.py",
+)
 
 #: directories never linted (fixture corpus deliberately violates rules)
 EXCLUDED_DIR_NAMES = {"lint_fixtures", "__pycache__", ".git", ".pytest_cache"}
@@ -444,13 +456,15 @@ def lint_paths(paths: list[str | Path]) -> list[Finding]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    # imported lazily: lockset imports this module for Finding/pragmas
-    from repro.devtools import lockset
+    # imported lazily: both analyzers import this module for
+    # Finding/pragmas
+    from repro.devtools import lockset, resource_flow
 
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="repo-specific concurrency/protocol lint pass, plus "
-                    "the DT7xx static lockset race analyzer",
+                    "the DT7xx static lockset race analyzer and the "
+                    "DT8xx resource-lifecycle analyzer",
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint (default: src tests)")
@@ -458,24 +472,39 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the rule catalogue and exit")
     parser.add_argument("--no-lockset", action="store_true",
                         help="skip the DT7xx lockset analysis pass")
+    parser.add_argument("--no-resourceflow", action="store_true",
+                        help="skip the DT8xx resource-lifecycle pass")
     parser.add_argument("--baseline", default=lockset.DEFAULT_BASELINE,
                         help="baseline file of grandfathered lockset findings "
                              f"(default: {lockset.DEFAULT_BASELINE})")
+    parser.add_argument("--rf-baseline",
+                        default=resource_flow.DEFAULT_BASELINE,
+                        help="baseline file of grandfathered resource-flow "
+                             "findings "
+                             f"(default: {resource_flow.DEFAULT_BASELINE})")
     parser.add_argument("--no-baseline", action="store_true",
-                        help="ignore the lockset baseline and report everything")
+                        help="ignore both baselines and report everything")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="rewrite the lockset baseline from current "
-                             "findings (kept justifications survive) and exit")
+                        help="rewrite both baselines from current findings "
+                             "(kept justifications survive) and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as machine-readable JSON")
+    parser.add_argument("--fail-on-stale", action="store_true",
+                        help="exit non-zero when a baseline contains entries "
+                             "that no longer fire")
     args = parser.parse_args(argv)
     if args.list_rules:
         catalogue = dict(RULES)
         catalogue.update(lockset.LOCKSET_RULES)
+        catalogue.update(resource_flow.RESOURCE_RULES)
         for rule_id in sorted(catalogue):
             print(f"{rule_id}  {catalogue[rule_id]}")
         return 0
+    if args.update_baseline and args.no_lockset and args.no_resourceflow:
+        parser.error("--update-baseline requires at least one analyzer "
+                     "pass (drop --no-lockset / --no-resourceflow)")
 
-    baselined = 0
-    lockset_findings: list[Finding] = []
+    passes = []  # (label, fresh findings, matched count, stale keys)
     if not args.no_lockset:
         raw = lockset.analyze_paths(args.paths)
         baseline = lockset.load_baseline(args.baseline,
@@ -485,26 +514,72 @@ def main(argv: list[str] | None = None) -> int:
                                    previous=baseline)
             print(f"wrote {args.baseline}: {len(raw)} grandfathered "
                   f"finding(s)")
-            return 0
-        fresh, matched = baseline.filter(raw)
-        stale = baseline.stale_keys(raw)
-        if stale and not args.no_baseline:
-            print("note: stale lockset baseline entrie(s) no longer fire: "
-                  + ", ".join(stale))
-        lockset_findings = list(fresh)
-        baselined = len(matched)
-    elif args.update_baseline:
-        parser.error("--update-baseline requires the lockset pass "
-                     "(drop --no-lockset)")
+        else:
+            fresh, matched = baseline.filter(raw)
+            passes.append(("lockset", list(fresh), len(matched),
+                           baseline.stale_keys(raw)))
+    if not args.no_resourceflow:
+        raw = resource_flow.analyze_paths(args.paths)
+        baseline = resource_flow.load_baseline(args.rf_baseline,
+                                               disabled=args.no_baseline)
+        if args.update_baseline:
+            lockset.Baseline.write(Path(args.rf_baseline), raw,
+                                   previous=baseline,
+                                   comment=resource_flow.BASELINE_COMMENT)
+            print(f"wrote {args.rf_baseline}: {len(raw)} grandfathered "
+                  f"finding(s)")
+        else:
+            fresh, matched = baseline.filter(raw)
+            passes.append(("resourceflow", list(fresh), len(matched),
+                           baseline.stale_keys(raw)))
+    if args.update_baseline:
+        return 0
 
-    findings = lint_paths(args.paths) + lockset_findings
+    findings = lint_paths(args.paths)
+    for _, fresh, _, _ in passes:
+        findings.extend(fresh)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    baselined = {label: matched for label, _, matched, _ in passes}
+    stale = {label: keys for label, _, _, keys in passes if keys}
+    n_files = sum(1 for _ in _iter_python_files(args.paths))
+
+    stale_fails = bool(stale) and args.fail_on_stale \
+        and not args.no_baseline
+
+    if args.json:
+        counts: dict[str, int] = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        import json as _json
+
+        print(_json.dumps({
+            "findings": [
+                {"file": f.path, "line": f.line, "rule": f.rule,
+                 "message": f.message}
+                for f in findings
+            ],
+            "counts": counts,
+            "files": n_files,
+            "baselined": baselined,
+            "stale": stale,
+        }, indent=2))
+        return 1 if findings or stale_fails else 0
+
     for f in findings:
         print(f)
-    n_files = sum(1 for _ in _iter_python_files(args.paths))
-    suffix = f" ({baselined} lockset finding(s) baselined)" if baselined else ""
+    if not args.no_baseline:
+        for label, keys in stale.items():
+            print(f"note: stale {label} baseline entrie(s) no longer "
+                  f"fire: " + ", ".join(keys))
+    total_baselined = sum(baselined.values())
+    suffix = (f" ({total_baselined} analyzer finding(s) baselined)"
+              if total_baselined else "")
     if findings:
         print(f"\n{len(findings)} finding(s) in {n_files} file(s){suffix}")
+        return 1
+    if stale_fails:
+        print(f"stale baseline entries present (see notes above); "
+              f"regenerate with --update-baseline")
         return 1
     print(f"clean: {n_files} file(s), 0 findings{suffix}")
     return 0

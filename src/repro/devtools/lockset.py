@@ -188,14 +188,15 @@ class Baseline:
 
     @staticmethod
     def write(path: Path, findings: list[LocksetFinding],
-              previous: "Baseline | None" = None) -> None:
+              previous: "Baseline | None" = None,
+              comment: str | None = None) -> None:
         prev = previous.entries if previous is not None else {}
         grandfathered = {
-            f.key: prev.get(f.key, "TODO: justify this entry or fix the race")
+            f.key: prev.get(f.key, "TODO: justify this entry or fix the bug")
             for f in sorted(findings, key=lambda f: f.key)
         }
         payload = {
-            "comment": (
+            "comment": comment if comment is not None else (
                 "Grandfathered DT7xx lockset findings; every entry needs a "
                 "written justification. Regenerate with "
                 "`repro lint --update-baseline` (see docs/devtools.md)."

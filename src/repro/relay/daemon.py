@@ -331,15 +331,22 @@ class FrameRelay:
         self.unknown_controls = 0  # guarded-by: _lock
 
         self._upstream_name = f"relay:{name}"
+        self._prefetcher: TimelinePrefetcher | None = None
         self._upstream_handle = upstream.join(
             self._upstream_name,
             fault_plan=fault_plan,
             retry=self.retry,
             credit_limit=upstream_credits,
         )  # guarded-by: _lock
-        self._spawn(self._ingest_origin, name=f"{name}-origin-ingest")
-        self._prefetcher = TimelinePrefetcher(self, prefetch or PrefetchPolicy())
-        self._prefetcher.start()
+        try:
+            self._spawn(self._ingest_origin, name=f"{name}-origin-ingest")
+            self._prefetcher = TimelinePrefetcher(
+                self, prefetch or PrefetchPolicy())
+            self._prefetcher.start()
+        except BaseException:
+            # a half-built relay must not strand its upstream session
+            self.kill()
+            raise
 
     # -- membership (the broker-compatible join surface) ---------------------
 
@@ -552,6 +559,11 @@ class FrameRelay:
     def _reconnect_upstream(self) -> ViewerHandle | None:
         """Re-establish the upstream session with resume (PR 3 path)."""
         plan = self.fault_plan.reconnected() if self.fault_plan else None
+        with self._lock:
+            stale = self._upstream_handle
+        # the session died with its connection, but the viewer-side
+        # socket/channel fd survives until someone closes it
+        stale.conn.close()
         deadline = time.monotonic() + self.reconnect_timeout
         while not self._closing.is_set() and time.monotonic() < deadline:
             try:
@@ -914,8 +926,10 @@ class FrameRelay:
             self._peers.clear()
             upstream_handle = self._upstream_handle
             threads = list(self._threads)
+            prefetcher = self._prefetcher
         self._closing.set()
-        self._prefetcher.stop()
+        if prefetcher is not None:
+            prefetcher.stop()
         for session in sessions:
             session.deactivate()
             snapshot = session.stats_snapshot()

@@ -72,10 +72,16 @@ class _PoolViewer:
             retry=RELAY_RETRY,
             credit_limit=n_frames + 8,
         )
-        self.thread = threading.Thread(
-            target=self._run, daemon=True, name=f"{name}-pool-viewer"
-        )
-        self.thread.start()
+        try:
+            self.thread = threading.Thread(
+                target=self._run, daemon=True, name=f"{name}-pool-viewer"
+            )
+            self.thread.start()
+        except BaseException:
+            # no consumer thread ever ran: give the session back instead
+            # of stranding it on the relay
+            self.handle.leave()
+            raise
 
     @property
     def done(self) -> bool:
@@ -83,6 +89,10 @@ class _PoolViewer:
 
     def _failover(self) -> bool:
         """Rejoin somewhere, resuming at exactly the next needed id."""
+        # the session died with the link, but the viewer-side channel fd
+        # lives until closed; leave() would tear down parked resume state
+        # on a relay that is merely wedged, so close just the transport
+        self.handle.conn.close()
         previous = self.at
         deadline = time.monotonic() + 5.0
         while not self._stop.is_set() and time.monotonic() < deadline:
@@ -152,6 +162,31 @@ class _PoolViewer:
         self.handle.leave()
 
 
+def _teardown(viewers, relays, killed, broker) -> None:
+    """Close every tier even when one close raises; the first failure
+    propagates only after the rest have been released."""
+    failures: list[BaseException] = []
+    for v in viewers:
+        try:
+            v.stop()
+        except BaseException as exc:
+            failures.append(exc)
+    for r in relays:
+        if r.name == killed:
+            continue  # kill() already tore it down mid-scenario
+        try:
+            r.close()
+        except BaseException as exc:
+            failures.append(exc)
+    if broker is not None:
+        try:
+            broker.close()
+        except BaseException as exc:
+            failures.append(exc)
+    if failures:
+        raise failures[0]
+
+
 def run_relay_topology(
     *,
     n_relays: int = 2,
@@ -182,49 +217,53 @@ def run_relay_topology(
     if kill_relay_after is not None and n_relays < 2:
         raise ValueError("kill_relay_after needs at least 2 relays")
     frames = synthetic_frames(n_frames, size=size)
-    broker = SessionBroker(
-        ladder=ladder,
-        credit_limit=8,
-        history_frames=n_frames,
-    )
-    ring = RelayRing(chunk_frames=chunk_frames) if n_relays > 1 else None
+    # every tier is built inside the try so a constructor failure in a
+    # later tier still tears down the earlier ones
+    broker = None
     relays: list[FrameRelay] = []
-    for i in range(n_relays):
-        name = f"relay{i}"
-        if ring is not None:
-            ring.add(name)
-        relays.append(
-            FrameRelay(
-                name,
-                broker,
-                ring=ring,
-                store_bytes=store_bytes,
-                prefetch=prefetch,
-                upstream_credits=max(32, n_frames + 8),
-                fault_plan=upstream_plan,
-            )
-        )
-    for a in relays:
-        for b in relays:
-            if a is not b:
-                a.connect_peer(b)
-    targets = relays if relays else [broker]
-    viewers = [
-        _PoolViewer(
-            targets,
-            i,
-            f"pool{i:02d}",
-            n_frames,
-            loops,
-            plan=viewer_plan,
-        )
-        for i in range(n_viewers)
-    ]
-
+    viewers: list[_PoolViewer] = []
     killed: str | None = None
     poll = threading.Event()  # nobody sets it; a sleep the linter can see
-    t0 = time.perf_counter()
     try:
+        broker = SessionBroker(
+            ladder=ladder,
+            credit_limit=8,
+            history_frames=n_frames,
+        )
+        ring = RelayRing(chunk_frames=chunk_frames) if n_relays > 1 else None
+        for i in range(n_relays):
+            name = f"relay{i}"
+            if ring is not None:
+                ring.add(name)
+            relays.append(
+                FrameRelay(
+                    name,
+                    broker,
+                    ring=ring,
+                    store_bytes=store_bytes,
+                    prefetch=prefetch,
+                    upstream_credits=max(32, n_frames + 8),
+                    fault_plan=upstream_plan,
+                )
+            )
+        for a in relays:
+            for b in relays:
+                if a is not b:
+                    a.connect_peer(b)
+        targets = relays if relays else [broker]
+        for i in range(n_viewers):
+            viewers.append(
+                _PoolViewer(
+                    targets,
+                    i,
+                    f"pool{i:02d}",
+                    n_frames,
+                    loops,
+                    plan=viewer_plan,
+                )
+            )
+
+        t0 = time.perf_counter()
         for fid, image in enumerate(frames):
             broker.publish(image, time_step=fid, frame_id=fid)
             if pace_s:
@@ -246,12 +285,7 @@ def run_relay_topology(
             r.stats_snapshot() for r in relays if r.name != killed
         ] + [r.stats_snapshot() for r in relays if r.name == killed]
     finally:
-        for v in viewers:
-            v.stop()
-        for r in relays:
-            if r.name != killed:
-                r.close()
-        broker.close()
+        _teardown(viewers, relays, killed, broker)
 
     target_frames = loops * n_frames
     viewer_report = {}

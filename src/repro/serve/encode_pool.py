@@ -92,15 +92,17 @@ def _worker_main(worker_id: int, tasks, results,
         task_id, shm_name, shape, dtype, codec_name, quality = task
         try:
             seg = shared_memory.SharedMemory(name=shm_name)
-            if not shared_tracker and hasattr(resource_tracker, "unregister"):
-                # under spawn this child runs its own resource tracker,
-                # which just registered a segment the *parent* owns —
-                # drop that registration or the child tracker reports
-                # phantom leaks at exit.  Under fork the tracker process
-                # is shared (the registry add above was an idempotent
-                # no-op) and the parent's registration must survive us.
-                resource_tracker.unregister(seg._name, "shared_memory")
             try:
+                if not shared_tracker and hasattr(
+                        resource_tracker, "unregister"):
+                    # under spawn this child runs its own resource
+                    # tracker, which just registered a segment the
+                    # *parent* owns — drop that registration or the
+                    # child tracker reports phantom leaks at exit.
+                    # Under fork the tracker process is shared (the
+                    # registry add above was an idempotent no-op) and
+                    # the parent's registration must survive us.
+                    resource_tracker.unregister(seg._name, "shared_memory")
                 plane = np.ndarray(shape, dtype=np.dtype(dtype),
                                    buffer=seg.buf)
                 image = plane.copy()  # detach before the slot is recycled
@@ -193,7 +195,9 @@ class EncodePool:
         #: content key -> in-flight record (request coalescing)
         self._inflight: dict[tuple, _Pending] = {}  # guarded-by: _lock
         #: task id -> the shared-memory slot its frame occupies
+        # borrows: _slot_of -- indexes into _all_slots, which owns the planes
         self._slot_of: dict[int, shared_memory.SharedMemory] = {}  # guarded-by: _lock
+        # borrows: _free_slots -- recycled entries; _all_slots owns them
         self._free_slots: list[shared_memory.SharedMemory] = []  # guarded-by: _lock
         self._all_slots: list[shared_memory.SharedMemory] = []  # guarded-by: _lock
         self._inline_codecs: dict[tuple[str, int | None], Codec] = {}  # guarded-by: _lock
@@ -213,16 +217,24 @@ class EncodePool:
         self.worker_restarts = 0  # guarded-by: _lock
         #: requests finished in-process (timeout or shutdown race)
         self.inline_fallbacks = 0  # guarded-by: _lock
-        with self._lock:
-            for i in range(workers):
-                self._workers.append(
-                    _Worker(self._ctx, i, self._results,
-                            self._shared_tracker)
-                )
-        self._collector = threading.Thread(
-            target=self._collect, name="encode-pool-collector", daemon=True
-        )
-        self._collector.start()
+        self._collector: threading.Thread | None = None
+        try:
+            with self._lock:
+                for i in range(workers):
+                    self._workers.append(
+                        _Worker(self._ctx, i, self._results,
+                                self._shared_tracker)
+                    )
+            collector = threading.Thread(
+                target=self._collect, name="encode-pool-collector",
+                daemon=True
+            )
+            collector.start()
+            self._collector = collector
+        except BaseException:
+            # a failed spawn must not strand the workers already forked
+            self.close()
+            raise
 
     # -- public surface ------------------------------------------------------
 
@@ -319,7 +331,8 @@ class EncodePool:
                 w.process.kill()
                 w.process.join(timeout=2.0)
         self._results.put(None)
-        self._collector.join(timeout=2.0)
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
         for slot in slots:
             slot.close()
             try:
@@ -341,13 +354,21 @@ class EncodePool:
         task_id = self._task_counter
         self._task_counter += 1
         slot = self._acquire_slot_locked(image.nbytes)
-        plane = np.ndarray(image.shape, dtype=image.dtype, buffer=slot.buf)
-        plane[...] = image
+        try:
+            plane = np.ndarray(image.shape, dtype=image.dtype,
+                               buffer=slot.buf)
+            plane[...] = image
+        except BaseException:
+            # a bad image (lying nbytes, dtype mismatch) must not eat
+            # the slot: recycle it or every failed submit grows a new
+            # shared-memory segment
+            self._free_slots.append(slot)
+            raise
+        self._slot_of[task_id] = slot
         task = (task_id, slot.name, tuple(image.shape), str(image.dtype),
                 codec, quality)
         pending = _Pending(key)
         self._pending[task_id] = pending
-        self._slot_of[task_id] = slot
         if key is not None:
             self._inflight[key] = pending
         index = (

@@ -156,19 +156,6 @@ def run_fanout(
     generators (see :class:`_Drainer`) — use it for large viewer
     counts where the question is serving capacity.
     """
-    router = SessionRouter(
-        shards=shards,
-        encode_workers=encode_workers,
-        ladder=ladder,
-        credit_limit=credit_limit,
-    )
-    drainers = [
-        _Drainer(
-            router.join(f"v{i:03d}"),
-            decode=audit_viewers is None or i < audit_viewers,
-        )
-        for i in range(n_viewers)
-    ]
     result: dict = {
         "viewers": n_viewers,
         "frames": len(frames),
@@ -179,7 +166,23 @@ def run_fanout(
             else min(audit_viewers, n_viewers)
         ),
     }
+    # built inside the try so a failed join/drainer mid-construction
+    # still tears down the router and the drainers already running
+    drainers: list[_Drainer] = []
+    router = SessionRouter(
+        shards=shards,
+        encode_workers=encode_workers,
+        ladder=ladder,
+        credit_limit=credit_limit,
+    )
     try:
+        for i in range(n_viewers):
+            drainers.append(
+                _Drainer(
+                    router.join(f"v{i:03d}"),
+                    decode=audit_viewers is None or i < audit_viewers,
+                )
+            )
         for label in ("cold", "warm"):
             before = router.stats()
             for d in drainers:
@@ -235,9 +238,11 @@ def run_fanout(
         if router.encode_pool is not None:
             result["pool"] = router.encode_pool.stats_snapshot()
     finally:
-        for d in drainers:
-            d.stop()
-        router.close()
+        try:
+            for d in drainers:
+                d.stop()
+        finally:
+            router.close()
     return result
 
 

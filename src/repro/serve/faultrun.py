@@ -63,8 +63,14 @@ class _ResilientViewer:
         self.gap_ranges: list[tuple[int, int]] = []
         self._stop = threading.Event()
         self.handle = broker.join(name, fault_plan=plan, retry=FAULT_RETRY)
-        self.thread = threading.Thread(target=self._run, daemon=True)
-        self.thread.start()
+        try:
+            self.thread = threading.Thread(target=self._run, daemon=True)
+            self.thread.start()
+        except BaseException:
+            # no consumer thread ever ran: give the session back instead
+            # of stranding it broker-side
+            self.handle.leave()
+            raise
 
     def _next_id(self) -> int:
         return self.frame_ids[-1] + 1 if self.frame_ids else 0
@@ -72,6 +78,10 @@ class _ResilientViewer:
     def _rejoin(self) -> bool:
         """Re-establish the session; returns False when giving up."""
         self.gap_ranges.extend(self.handle.gaps)
+        # the session died with the link, but the viewer-side channel fd
+        # lives until closed; leave() would tear down the broker's parked
+        # resume state, so close just the transport
+        self.handle.conn.close()
         deadline = time.monotonic() + 5.0
         while not self._stop.is_set() and time.monotonic() < deadline:
             try:
@@ -114,6 +124,29 @@ class _ResilientViewer:
         self.thread.join(timeout=5.0)
         self.gap_ranges.extend(self.handle.gaps)
         self.handle.leave()
+
+
+def _teardown(viewers, relay_pool, broker) -> None:
+    """Close every tier even when one close raises; the first failure
+    propagates only after the rest have been released."""
+    failures: list[BaseException] = []
+    for v in viewers:
+        try:
+            v.stop()
+        except BaseException as exc:
+            failures.append(exc)
+    for relay in relay_pool:
+        try:
+            relay.close()
+        except BaseException as exc:
+            failures.append(exc)
+    if broker is not None:
+        try:
+            broker.close()
+        except BaseException as exc:
+            failures.append(exc)
+    if failures:
+        raise failures[0]
 
 
 def run_with_faults(
@@ -163,49 +196,53 @@ def run_with_faults(
         step_up_after=step_up_after,
         history_frames=max(32, n_frames // 2),
     )
-    if shards > 1 or encode_workers > 0:
-        from repro.serve.shard import SessionRouter
+    # every tier is built inside the try so a constructor failure in a
+    # later tier still tears down the earlier ones
+    broker = None
+    relay_pool: list = []
+    viewers: list[_ResilientViewer] = []
+    try:
+        if shards > 1 or encode_workers > 0:
+            from repro.serve.shard import SessionRouter
 
-        broker = SessionRouter(
-            shards=shards, encode_workers=encode_workers, **common
-        )
-    else:
-        broker = SessionBroker(**common)
-    relay_pool = []
-    if relays > 0:
-        # local import: repro.serve must stay importable without the
-        # relay package (and this is the only serve -> relay edge)
-        from repro.relay.daemon import FrameRelay
-        from repro.relay.ring import RelayRing
+            broker = SessionRouter(
+                shards=shards, encode_workers=encode_workers, **common
+            )
+        else:
+            broker = SessionBroker(**common)
+        if relays > 0:
+            # local import: repro.serve must stay importable without the
+            # relay package (and this is the only serve -> relay edge)
+            from repro.relay.daemon import FrameRelay
+            from repro.relay.ring import RelayRing
 
-        ring = RelayRing() if relays > 1 else None
-        for i in range(relays):
-            name = f"relay{i}"
-            if ring is not None:
-                ring.add(name)
-            relay_pool.append(
-                FrameRelay(
-                    name,
-                    broker,
-                    ring=ring,
-                    upstream_credits=max(32, n_frames + 8),
+            ring = RelayRing() if relays > 1 else None
+            for i in range(relays):
+                name = f"relay{i}"
+                if ring is not None:
+                    ring.add(name)
+                relay_pool.append(
+                    FrameRelay(
+                        name,
+                        broker,
+                        ring=ring,
+                        upstream_credits=max(32, n_frames + 8),
+                    )
+                )
+            for a in relay_pool:
+                for b in relay_pool:
+                    if a is not b:
+                        a.connect_peer(b)
+        for i in range(n_viewers):
+            viewers.append(
+                _ResilientViewer(
+                    relay_pool[i % len(relay_pool)] if relay_pool else broker,
+                    f"wan{i:02d}",
+                    plan,
+                    reconnect=reconnect,
                 )
             )
-        for a in relay_pool:
-            for b in relay_pool:
-                if a is not b:
-                    a.connect_peer(b)
-    viewers = [
-        _ResilientViewer(
-            relay_pool[i % len(relay_pool)] if relay_pool else broker,
-            f"wan{i:02d}",
-            plan,
-            reconnect=reconnect,
-        )
-        for i in range(n_viewers)
-    ]
-    t0 = time.perf_counter()
-    try:
+        t0 = time.perf_counter()
         for fid, image in enumerate(frames):
             broker.publish(image, time_step=fid, frame_id=fid)
             if pace_s:
@@ -219,11 +256,7 @@ def run_with_faults(
         for relay in relay_pool:
             session_stats.update(relay.session_stats())
     finally:
-        for v in viewers:
-            v.stop()
-        for relay in relay_pool:
-            relay.close()
-        broker.close()
+        _teardown(viewers, relay_pool, broker)
 
     sessions = {}
     ratios = []

@@ -1,0 +1,9 @@
+"""DT801 fixture: a file handle held across a raising call with no
+try/finally leaks on the exception edge."""
+
+
+def read_header(path):
+    fh = open(path, "rb")
+    header = fh.read(16)
+    fh.close()
+    return header

@@ -1,0 +1,15 @@
+"""DT801 fixture (overwrite shape): rebinding an owned connection
+field without closing the previous value first — the reconnect leak."""
+
+import socket
+
+
+class Link:
+    def __init__(self, addr):
+        self.sock = socket.create_connection(addr)
+
+    def reconnect(self, addr):
+        self.sock = socket.create_connection(addr)
+
+    def close(self):
+        self.sock.close()

@@ -1,0 +1,13 @@
+"""DT802 fixture: a shared-memory segment unlinked twice — the second
+unlink always fails or, worse, removes a segment someone else made."""
+
+from multiprocessing import shared_memory
+
+
+def drop(name):
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        seg.close()
+    finally:
+        seg.unlink()
+    seg.unlink()

@@ -1,0 +1,6 @@
+"""DT803 fixture: sending on a connection after closing it."""
+
+
+def send_shutdown(conn):
+    conn.close()
+    conn.send(b"bye")

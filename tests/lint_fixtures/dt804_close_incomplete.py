@@ -1,0 +1,20 @@
+"""DT804 fixture: close() joins the pump thread but forgets the log
+file __init__ opened — the close graph is incomplete."""
+
+import threading
+
+
+class Pump:
+    def __init__(self, path):
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self.log = open(path, "a")
+
+    def _run(self):
+        while not self._stop.is_set():
+            self._stop.wait(0.1)
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=1.0)

@@ -1,0 +1,92 @@
+"""Negative fixture: every lifecycle shape the DT80x rules must
+accept — context managers, try/finally, ownership transfer by return
+and by container, release-before-rebind, pin/unpin pairing, annotated
+ownership, and daemonized threads."""
+
+import socket
+import threading
+
+
+def with_statement(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def try_finally(path):
+    fh = open(path, "rb")
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def transfer_by_return(addr):
+    sock = socket.create_connection(addr)
+    return sock
+
+
+class Pool:
+    """Owns its connections; close() releases every one of them."""
+
+    def __init__(self, addrs):
+        self._conns = []
+        for addr in addrs:
+            conn = socket.create_connection(addr)
+            self._conns.append(conn)
+        self.primary = socket.create_connection(addrs[0])
+
+    def swap(self, addr):
+        self.primary.close()
+        self.primary = socket.create_connection(addr)
+
+    def close(self):
+        self.primary.close()
+        for conn in self._conns:
+            conn.close()
+
+
+class Cache:
+    """Provides pin/unpin — the pin rule must not flag the provider."""
+
+    def __init__(self):
+        self._pins = {}
+
+    def pin(self, key):
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key):
+        self._pins[key] -= 1
+
+
+class Client:
+    """Pins entries and unpins them again."""
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def hold(self, key):
+        self.cache.pin(key)
+
+    def drop(self, key):
+        self.cache.unpin(key)
+
+
+class Annotated:
+    """An opaque factory resource the analyzer only knows via owns:."""
+
+    # owns: _handle
+    def __init__(self, factory):
+        self._handle = factory()
+
+    def close(self):
+        self._handle.close()
+
+
+def _tick():
+    pass
+
+
+def daemon_thread():
+    t = threading.Thread(target=_tick, daemon=True)
+    t.start()
+    return t
