@@ -165,6 +165,9 @@ class DeflateCodec(LosslessCodec):
                 if produced >= orig_len:
                     break
                 if flags & (1 << bit):
+                    # the run-split matcher emits these tokens through
+                    # numpy tobytes, so the encoder side has no struct
+                    # wire: lz-match-token (vectorized encoder)
                     dist, lx = struct.unpack_from("<HB", lz_stream, i)
                     i += 3
                     tokens.append((1, lx + _MIN_MATCH, dist))

@@ -370,6 +370,7 @@ def interleave_header(lane_nbits: np.ndarray, k: int, body_len: int) -> bytes:
     """Header bytes for an interleaved-lane blob (see the layout below)."""
     size = 2 if int(lane_nbits.max(initial=0)) < 1 << 16 else 4
     return (
+        # wire: interleave-k-size (one-sided byte-indexed decoder)
         struct.pack("<BB", k, size)
         + lane_nbits.astype(f"<u{size}").tobytes()
         + struct.pack("<I", body_len)

@@ -64,7 +64,7 @@ class SessionReport:
         )
 
 
-class RemoteVisualizationSession:
+class RemoteVisualizationSession:  # speaks: renderer
     """A live renderer ↔ daemon ↔ display loop over a dataset.
 
     Parameters
@@ -130,6 +130,9 @@ class RemoteVisualizationSession:
         #: control messages whose tag is not in the protocol registry —
         #: dropped, never silently absorbed into the render parameters
         self.unknown_controls = 0
+        #: §4.1 start_renderer commands applied (each may seed camera
+        #: parameters for the following frames)
+        self.renderer_starts = 0
 
     # -- rendering ------------------------------------------------------------
 
@@ -154,6 +157,25 @@ class RemoteVisualizationSession:
                     positions=tuple(msg.params["positions"]),
                     colors=tuple(tuple(c) for c in msg.params["colors"]),
                 )
+            elif msg.tag == "start_renderer":
+                # the §4.1 "start the renderer [with parameters]"
+                # daemon command: in this in-process miniature the
+                # render loop already runs, so (re)starting means
+                # seeding the next frame's parameters in one shot
+                self.renderer_starts += 1
+                params = msg.params
+                if "azimuth" in params or "elevation" in params:
+                    self.camera = self.camera.with_view(
+                        azimuth=params.get("azimuth", self.camera.azimuth),
+                        elevation=params.get(
+                            "elevation", self.camera.elevation),
+                    )
+                if "zoom" in params:
+                    self.camera = replace(self.camera,
+                                          zoom=params["zoom"])
+                if "projection" in params:
+                    self.camera = replace(
+                        self.camera, projection=params["projection"])
             else:
                 # registered tags owned by other layers (set_codec is
                 # applied inside the renderer interface) pass through;

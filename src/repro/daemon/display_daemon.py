@@ -80,6 +80,8 @@ class DisplayDaemon:
         self._closed = False  # guarded-by: _lock
         #: frame ids dropped because a display buffer overflowed
         self.dropped_frames = 0  # guarded-by: _lock
+        #: well-formed messages of a kind this daemon cannot route
+        self.unknown_messages = 0  # guarded-by: _lock
 
     # -- wiring ------------------------------------------------------------
 
@@ -137,6 +139,11 @@ class DisplayDaemon:
             elif isinstance(msg, ControlMessage):
                 # renderer-originated status messages go to displays
                 self._broadcast_to_displays(msg)
+            else:
+                # decode_message grew a kind this pump predates: count
+                # it so a protocol extension is never silently eaten
+                with self._lock:
+                    self.unknown_messages += 1
 
     def _pump_display_control(self, port: "_DisplayPort") -> None:
         """Display → daemon: forward control to all renderer interfaces."""

@@ -49,7 +49,7 @@ class ReceivedFrame:
         )
 
 
-class DisplayInterface:
+class DisplayInterface:  # speaks: display
     """The remote user's endpoint.
 
     Codec instances are cached per name so stateless codecs are reused;
@@ -80,6 +80,8 @@ class DisplayInterface:
         self._codecs: dict[str, Codec] = {}
         self._pending: dict[int, dict[int, FrameMessage]] = {}
         self._lock = threading.Lock()
+        #: control/hello traffic received with no handler on this end
+        self.unknown_controls = 0  # guarded-by: _lock
         # One context for the whole connection: Huffman decode tables,
         # quantization matrices, and scratch buffers persist across frames
         # and are shared by every codec this interface instantiates.
@@ -112,7 +114,11 @@ class DisplayInterface:
                     self._pending.setdefault(msg.frame_id, {})[
                         msg.piece_index
                     ] = msg
-            # control/hello messages from the daemon are ignored here
+            else:
+                # the display dispatches no control tags (renderer
+                # status broadcasts land here); count, don't vanish
+                with self._lock:
+                    self.unknown_controls += 1
 
     def _pop_ready(self) -> list[FrameMessage] | None:
         with self._lock:

@@ -25,7 +25,7 @@ from repro.render.image import split_tiles
 __all__ = ["RendererInterface"]
 
 
-class RendererInterface:
+class RendererInterface:  # speaks: renderer
     """One rendering node's (or assembling node's) daemon connection.
 
     Parameters

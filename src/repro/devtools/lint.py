@@ -21,23 +21,32 @@ rule        meaning
 ``DT401``   wall-clock or global-RNG call (``time.time``, ``random.*``,
             ``np.random.*``) inside a deterministic fault/codec path
 ``DT501``   dispatch on a control ``tag`` literal that is not in the
-            protocol registry (typo'd or unregistered opcode)
-``DT502``   an ``if/elif`` chain over ``.tag`` with no ``else`` — the
-            dispatch silently ignores unknown opcodes
+            protocol registry (typo'd or unregistered opcode) — covers
+            ``==``/``!=`` compares and ``in``/``not in`` membership
+            tests over tag tuples
+``DT502``   an ``if/elif`` chain over ``.tag`` — or over message kinds
+            via ``isinstance(msg, FrameMessage)``-style tests — with no
+            ``else``: the dispatch silently ignores unknown opcodes
 ``DT601``   mutable default argument (list/dict/set literal or call)
 ==========  ============================================================
 
 The CLI also runs the ``DT701``–``DT704`` static lockset race analyzer
 from :mod:`repro.devtools.lockset` (guarded-by inference over
-``self._*`` fields) and the ``DT801``–``DT804`` resource-lifecycle
+``self._*`` fields), the ``DT801``–``DT804`` resource-lifecycle
 analyzer from :mod:`repro.devtools.resource_flow` (exception-edge leak,
-double-close, use-after-close, close-graph completeness), each filtered
-through its own committed baseline of grandfathered findings; see those
+double-close, use-after-close, close-graph completeness), and the
+``DT901``–``DT904`` protocol-conformance analyzer from
+:mod:`repro.devtools.protoflow` (wire-schema cross-checking, endpoint
+automata vs :mod:`repro.daemon.protocol_spec`), each filtered through
+its own committed baseline of grandfathered findings; see those
 modules and ``docs/devtools.md`` for the rule catalogues and the
-``--baseline`` / ``--rf-baseline`` / ``--no-baseline`` /
-``--update-baseline`` workflow.  ``--json`` emits the combined findings
-machine-readably; ``--fail-on-stale`` turns stale baseline entries into
-a failing exit.
+``--baseline`` / ``--rf-baseline`` / ``--pf-baseline`` /
+``--no-baseline`` / ``--update-baseline`` workflow.  ``--json`` emits
+the combined findings machine-readably; ``--sarif FILE`` additionally
+writes them as SARIF 2.1.0 for code-scanning upload;
+``--emit-proto-dot FILE`` renders the protocol spec automata to
+Graphviz and exits; ``--fail-on-stale`` turns stale baseline entries
+into a failing exit.
 
 Escape hatch: append ``# lint: disable=DT201`` (comma-separated ids, or
 ``all``) to the offending line.  Run with ``repro lint [paths...]`` or
@@ -63,7 +72,7 @@ RULES: dict[str, str] = {
     "DT301": "threading.Thread without daemon= or a join in scope",
     "DT401": "wall clock / global RNG in a deterministic path",
     "DT501": "control tag not in the protocol registry",
-    "DT502": "tag dispatch chain without an else fallback",
+    "DT502": "tag/kind dispatch chain without an else fallback",
     "DT601": "mutable default argument",
 }
 
@@ -337,59 +346,109 @@ class _Analyzer:
     # DT501 ------------------------------------------------------------------
 
     @staticmethod
-    def _tag_compare(node: ast.Compare) -> str | None:
-        """The string literal of a ``<expr>.tag == "..."`` compare."""
-        if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
-            return None
+    def _tag_literals(node: ast.Compare) -> list[str]:
+        """String literals a ``.tag`` test dispatches on: ``==``/``!=``
+        compares plus ``in``/``not in`` membership over literal
+        tuples/lists/sets."""
+        if len(node.ops) != 1:
+            return []
+        op = node.ops[0]
         left, right = node.left, node.comparators[0]
-        for attr, lit in ((left, right), (right, left)):
-            if (
-                isinstance(attr, ast.Attribute)
-                and attr.attr == "tag"
-                and isinstance(lit, ast.Constant)
-                and isinstance(lit.value, str)
-            ):
-                return lit.value
-        return None
+        if isinstance(op, (ast.Eq, ast.NotEq)):
+            for attr, lit in ((left, right), (right, left)):
+                if (
+                    isinstance(attr, ast.Attribute)
+                    and attr.attr == "tag"
+                    and isinstance(lit, ast.Constant)
+                    and isinstance(lit.value, str)
+                ):
+                    return [lit.value]
+            return []
+        if (
+            isinstance(op, (ast.In, ast.NotIn))
+            and isinstance(left, ast.Attribute)
+            and left.attr == "tag"
+            and isinstance(right, (ast.Tuple, ast.List, ast.Set))
+        ):
+            return [
+                el.value for el in right.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            ]
+        return []
 
     def _check_tag_literal(self, node: ast.Compare) -> None:
-        tag = self._tag_compare(node)
-        if tag is not None and tag not in _control_tags():
-            self._report(
-                node,
-                "DT501",
-                f"control tag {tag!r} is not in "
-                "repro.daemon.protocol.CONTROL_TAGS; register it or fix "
-                "the typo",
-            )
+        for tag in self._tag_literals(node):
+            if tag not in _control_tags():
+                self._report(
+                    node,
+                    "DT501",
+                    f"control tag {tag!r} is not in "
+                    "repro.daemon.protocol.CONTROL_TAGS; register it or "
+                    "fix the typo",
+                )
 
     # DT502 ------------------------------------------------------------------
 
     def _test_is_tag_dispatch(self, test: ast.AST) -> bool:
+        """Positive dispatch tests only: equality and membership (a
+        negated guard filters, it does not dispatch)."""
         return any(
-            isinstance(n, ast.Compare) and self._tag_compare(n) is not None
+            isinstance(n, ast.Compare)
+            and len(n.ops) == 1
+            and isinstance(n.ops[0], (ast.Eq, ast.In))
+            and self._tag_literals(n)
             for n in ast.walk(test)
         )
+
+    @staticmethod
+    def _test_is_kind_dispatch(test: ast.AST) -> bool:
+        """An ``isinstance(msg, FrameMessage)``-style test over the
+        protocol message kinds (any ``*Message`` class name)."""
+        for n in ast.walk(test):
+            if (
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Name)
+                and n.func.id == "isinstance"
+                and len(n.args) == 2
+            ):
+                kinds = n.args[1]
+                elts = kinds.elts if isinstance(kinds, ast.Tuple) \
+                    else [kinds]
+                for el in elts:
+                    base = el.attr if isinstance(el, ast.Attribute) \
+                        else getattr(el, "id", "")
+                    if base.endswith("Message"):
+                        return True
+        return False
 
     def _check_tag_chain(self, node: ast.If) -> None:
         parent = self.parents.get(node)
         if isinstance(parent, ast.If) and parent.orelse == [node]:
             return  # not the head of the chain
-        branches = 0
+        tag_branches = 0
+        kind_branches = 0
         cur: ast.AST = node
         while isinstance(cur, ast.If):
             if self._test_is_tag_dispatch(cur.test):
-                branches += 1
+                tag_branches += 1
+            elif self._test_is_kind_dispatch(cur.test):
+                kind_branches += 1
             if len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
                 cur = cur.orelse[0]
             else:
                 break
-        if branches >= 2 and isinstance(cur, ast.If) and not cur.orelse:
+        if (
+            (tag_branches >= 2 or kind_branches >= 2)
+            and isinstance(cur, ast.If)
+            and not cur.orelse
+        ):
+            what = "tag" if tag_branches >= 2 else "message-kind"
             self._report(
                 node,
                 "DT502",
-                "tag dispatch chain has no else fallback: unknown opcodes "
-                "are silently ignored; count or reject them explicitly",
+                f"{what} dispatch chain has no else fallback: unknown "
+                "opcodes are silently ignored; count or reject them "
+                "explicitly",
             )
 
     # DT601 ------------------------------------------------------------------
@@ -455,16 +514,52 @@ def lint_paths(paths: list[str | Path]) -> list[Finding]:
     return findings
 
 
+def _sarif_report(findings, catalogue) -> dict:
+    """The combined findings as a SARIF 2.1.0 log for code scanning."""
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": [
+                    {"id": rule_id,
+                     "shortDescription": {"text": catalogue[rule_id]}}
+                    for rule_id in sorted(catalogue)
+                ],
+            }},
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "warning",
+                    "message": {"text": f.message},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": Path(f.path).as_posix(),
+                            },
+                            "region": {"startLine": f.line},
+                        },
+                    }],
+                }
+                for f in findings
+            ],
+        }],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    # imported lazily: both analyzers import this module for
+    # imported lazily: the analyzers import this module for
     # Finding/pragmas
-    from repro.devtools import lockset, resource_flow
+    from repro.devtools import lockset, protoflow, resource_flow
 
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="repo-specific concurrency/protocol lint pass, plus "
-                    "the DT7xx static lockset race analyzer and the "
-                    "DT8xx resource-lifecycle analyzer",
+                    "the DT7xx static lockset race analyzer, the DT8xx "
+                    "resource-lifecycle analyzer, and the DT9xx "
+                    "protocol-conformance analyzer",
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint (default: src tests)")
@@ -474,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the DT7xx lockset analysis pass")
     parser.add_argument("--no-resourceflow", action="store_true",
                         help="skip the DT8xx resource-lifecycle pass")
+    parser.add_argument("--no-protoflow", action="store_true",
+                        help="skip the DT9xx protocol-conformance pass")
     parser.add_argument("--baseline", default=lockset.DEFAULT_BASELINE,
                         help="baseline file of grandfathered lockset findings "
                              f"(default: {lockset.DEFAULT_BASELINE})")
@@ -482,13 +579,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline file of grandfathered resource-flow "
                              "findings "
                              f"(default: {resource_flow.DEFAULT_BASELINE})")
+    parser.add_argument("--pf-baseline",
+                        default=protoflow.DEFAULT_BASELINE,
+                        help="baseline file of grandfathered protocol-"
+                             "conformance findings "
+                             f"(default: {protoflow.DEFAULT_BASELINE})")
     parser.add_argument("--no-baseline", action="store_true",
-                        help="ignore both baselines and report everything")
+                        help="ignore the baselines and report everything")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="rewrite both baselines from current findings "
+                        help="rewrite the baselines from current findings "
                              "(kept justifications survive) and exit")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as machine-readable JSON")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write the findings as SARIF 2.1.0 to "
+                             "FILE (for code-scanning upload)")
+    parser.add_argument("--emit-proto-dot", metavar="FILE",
+                        help="write the protocol spec automata as Graphviz "
+                             "DOT to FILE and exit")
     parser.add_argument("--fail-on-stale", action="store_true",
                         help="exit non-zero when a baseline contains entries "
                              "that no longer fire")
@@ -497,12 +605,19 @@ def main(argv: list[str] | None = None) -> int:
         catalogue = dict(RULES)
         catalogue.update(lockset.LOCKSET_RULES)
         catalogue.update(resource_flow.RESOURCE_RULES)
+        catalogue.update(protoflow.PROTOFLOW_RULES)
         for rule_id in sorted(catalogue):
             print(f"{rule_id}  {catalogue[rule_id]}")
         return 0
-    if args.update_baseline and args.no_lockset and args.no_resourceflow:
+    if args.emit_proto_dot:
+        Path(args.emit_proto_dot).write_text(protoflow.render_dot())
+        print(f"wrote {args.emit_proto_dot}")
+        return 0
+    if args.update_baseline and args.no_lockset and args.no_resourceflow \
+            and args.no_protoflow:
         parser.error("--update-baseline requires at least one analyzer "
-                     "pass (drop --no-lockset / --no-resourceflow)")
+                     "pass (drop --no-lockset / --no-resourceflow / "
+                     "--no-protoflow)")
 
     passes = []  # (label, fresh findings, matched count, stale keys)
     if not args.no_lockset:
@@ -532,6 +647,20 @@ def main(argv: list[str] | None = None) -> int:
             fresh, matched = baseline.filter(raw)
             passes.append(("resourceflow", list(fresh), len(matched),
                            baseline.stale_keys(raw)))
+    if not args.no_protoflow:
+        raw = protoflow.analyze_paths(args.paths)
+        baseline = protoflow.load_baseline(args.pf_baseline,
+                                           disabled=args.no_baseline)
+        if args.update_baseline:
+            lockset.Baseline.write(Path(args.pf_baseline), raw,
+                                   previous=baseline,
+                                   comment=protoflow.BASELINE_COMMENT)
+            print(f"wrote {args.pf_baseline}: {len(raw)} grandfathered "
+                  f"finding(s)")
+        else:
+            fresh, matched = baseline.filter(raw)
+            passes.append(("protoflow", list(fresh), len(matched),
+                           baseline.stale_keys(raw)))
     if args.update_baseline:
         return 0
 
@@ -545,6 +674,17 @@ def main(argv: list[str] | None = None) -> int:
 
     stale_fails = bool(stale) and args.fail_on_stale \
         and not args.no_baseline
+
+    if args.sarif:
+        import json as _json
+
+        catalogue = dict(RULES)
+        catalogue.update(lockset.LOCKSET_RULES)
+        catalogue.update(resource_flow.RESOURCE_RULES)
+        catalogue.update(protoflow.PROTOFLOW_RULES)
+        Path(args.sarif).write_text(
+            _json.dumps(_sarif_report(findings, catalogue), indent=2)
+            + "\n")
 
     if args.json:
         counts: dict[str, int] = {}

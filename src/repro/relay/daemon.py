@@ -170,6 +170,29 @@ class RelaySession:
                 self.cursor = frame_id + 1
             self._stats.frames_skipped += 1
 
+    def skip_gap(self, from_frame: int, to_frame: int) -> str:  # speaks: relay@downstream
+        """Announce ``[from_frame, to_frame)`` as unrecoverable and jump
+        the cursor past the range, mirroring the broker's resume-gap
+        announcement so consumers account for the loss up front instead
+        of timing out on every missing frame."""
+        with self._lock:
+            if not self.active:
+                return "closed"
+            try:
+                self.conn.send(ControlMessage(
+                    tag="gap",
+                    params={"from": from_frame, "to": to_frame},
+                ).encode())
+            except ChannelClosed:
+                self.active = False
+                self._stats.active = False
+                return "closed"
+            if self.cursor < to_frame:
+                skipped = to_frame - max(self.cursor, from_frame)
+                self._stats.frames_skipped += skipped
+                self.cursor = to_frame
+            return "sent"
+
     # -- pump side -----------------------------------------------------------
 
     def on_ack(self, frame_id: int) -> None:
@@ -235,7 +258,7 @@ class RelaySession:
             return self._stats.copy(active=self.active)
 
 
-class FrameRelay:
+class FrameRelay:  # speaks: relay
     """One edge relay: upstream session in, local viewer pool out.
 
     Parameters
@@ -313,6 +336,9 @@ class FrameRelay:
         self._closed = False  # guarded-by: _lock
         #: whether the upstream tier told us which quality we watch
         self.upstream_tier: str | None = None  # guarded-by: _lock
+        #: half-open [from, to) ranges upstream declared unrecoverable
+        #: (resume past the retained history window); players skip them
+        self._gaps: list[tuple[int, int]] = []  # guarded-by: _lock
 
         # counters (see RelayStats for meanings)
         self.frames_served = 0  # guarded-by: _lock
@@ -325,6 +351,7 @@ class FrameRelay:
         self.prefetch_issued = 0  # guarded-by: _lock
         self.prefetch_fills = 0  # guarded-by: _lock
         self.resumes = 0  # guarded-by: _lock
+        self.upstream_gaps = 0  # guarded-by: _lock
         self.upstream_reconnects = 0  # guarded-by: _lock
         self.peer_failovers = 0  # guarded-by: _lock
         self.malformed = 0  # guarded-by: _lock
@@ -500,7 +527,7 @@ class FrameRelay:
                 return
             self._ingest_raw(raw, source=link.name, conn=link.handle.conn)
 
-    def _ingest_raw(self, raw: bytes, source: str, conn) -> None:
+    def _ingest_raw(self, raw: bytes, source: str, conn) -> None:  # speaks: relay@ingest
         try:
             msg = decode_message(raw)
         except ProtocolError:
@@ -521,6 +548,8 @@ class FrameRelay:
             if msg.tag == "tier":
                 with self._lock:
                     self.upstream_tier = msg.params.get("tier")
+            elif msg.tag == "gap":
+                self._note_gap(msg.params.get("from"), msg.params.get("to"))
             else:
                 with self._lock:
                     self.unknown_controls += 1
@@ -555,6 +584,40 @@ class FrameRelay:
         # outside the relay lock: the store serializes on its own
         self.store.put(meta.key(fid), payload, speculative=speculative)
         self._notify()
+
+    def _note_gap(self, from_frame, to_frame) -> None:
+        """Record an upstream "frames [from, to) are unrecoverable"
+        announcement (sent by the broker when our resume point fell out
+        of its retained window) so players jump the range instead of
+        waiting out the fetch timeout frame by frame."""
+        if (not self._valid_frame_id(from_frame)
+                or not self._valid_frame_id(to_frame)
+                or to_frame <= from_frame):
+            with self._lock:
+                self.malformed += 1
+            return
+        with self._lock:
+            self._gaps.append((from_frame, to_frame))
+            self.upstream_gaps += 1
+        self._notify()
+
+    def _gap_end(self, frame_id: int) -> int | None:
+        """End of the announced gap covering ``frame_id`` (``None``
+        when no gap covers it).  A frame that arrived anyway — a peer
+        fetch or a replay burst — bounds the jump: it gets delivered,
+        not skipped."""
+        with self._lock:
+            if frame_id in self._frames:
+                return None
+            end = None
+            for lo, hi in self._gaps:
+                if lo <= frame_id < hi and (end is None or hi > end):
+                    end = hi
+            if end is None:
+                return None
+            recovered = [fid for fid in self._frames
+                         if frame_id < fid < end]
+            return min(recovered) if recovered else end
 
     def _reconnect_upstream(self) -> ViewerHandle | None:
         """Re-establish the upstream session with resume (PR 3 path)."""
@@ -675,7 +738,15 @@ class FrameRelay:
                 continue
             self._serve_one(session, fid)
 
-    def _serve_one(self, session: RelaySession, frame_id: int) -> None:
+    def _serve_one(self, session: RelaySession, frame_id: int) -> None:  # speaks: relay@downstream
+        gap_end = self._gap_end(frame_id)
+        if gap_end is not None:
+            # upstream declared [frame_id, gap_end) unrecoverable:
+            # re-announce it downstream and jump, instead of burning
+            # fetch_timeout once per missing frame
+            if session.skip_gap(frame_id, gap_end) == "closed":
+                self._detach(session, resumable=True)
+            return
         meta, payload, waited, pinned = self._obtain(frame_id, session)
         if meta is None:
             if session.is_active() and not self._is_closed():
@@ -761,7 +832,7 @@ class FrameRelay:
     def _valid_frame_id(value) -> bool:
         return isinstance(value, int) and not isinstance(value, bool) and value >= 0
 
-    def _pump(self, session: RelaySession) -> None:
+    def _pump(self, session: RelaySession) -> None:  # speaks: relay@downstream
         """Downstream → relay: acks return credits; seek/leave honored."""
         while True:
             try:
@@ -877,6 +948,7 @@ class FrameRelay:
                 prefetch_fills=self.prefetch_fills,
                 sessions=len(self._sessions),
                 resumes=self.resumes,
+                upstream_gaps=self.upstream_gaps,
                 upstream_reconnects=self.upstream_reconnects,
                 peer_failovers=self.peer_failovers,
                 malformed=self.malformed,

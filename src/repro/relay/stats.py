@@ -48,6 +48,9 @@ class RelayStats:
     #: downstream sessions that rejoined (same relay) or resumed from a
     #: peer's cursor (``resume_from``)
     resumes: int = 0
+    #: gap announcements absorbed from upstream (resume past the
+    #: broker's retained window); players skip the ranges they cover
+    upstream_gaps: int = 0
     #: times the upstream link died and was re-established with resume
     upstream_reconnects: int = 0
     #: fetches re-routed to the origin because the owning peer was dead

@@ -52,7 +52,7 @@ from repro.serve.tiers import QualityTier, TierLadder, default_ladder
 __all__ = ["SessionBroker"]
 
 
-class SessionBroker:
+class SessionBroker:  # speaks: broker
     """Fan one frame stream out to many adaptive viewer sessions.
 
     Parameters
@@ -356,7 +356,7 @@ class SessionBroker:
         with self._lock:
             self.malformed_controls += 1
 
-    def _pump_session(self, session: ViewerSession) -> None:
+    def _pump_session(self, session: ViewerSession) -> None:  # speaks: broker@serving
         """Viewer → broker: acks return credits; seek/leave are honored.
 
         Malformed traffic — undecodable frames, non-control messages,
@@ -411,7 +411,7 @@ class SessionBroker:
             self._deliver(session, fid, ts, img)
 
     @guarded_by("_lock")
-    def _replay_resume(self, session: ViewerSession, from_frame: int) -> None:
+    def _replay_resume(self, session: ViewerSession, from_frame: int) -> None:  # speaks: broker@resuming
         """Resume replay; caller holds ``self._lock``.
 
         Inlines delivery (no :meth:`leave` — that needs the lock) and

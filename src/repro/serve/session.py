@@ -85,7 +85,7 @@ class AdaptiveQualityController:
         return 0
 
 
-class ViewerSession:
+class ViewerSession:  # speaks: broker
     """Broker-side record of one connected viewer."""
 
     def __init__(
@@ -270,7 +270,7 @@ class ServedFrame:
     payload_bytes: int
 
 
-class ViewerHandle:
+class ViewerHandle:  # speaks: client
     """The viewer's end of a broker session.
 
     ``next_frame()`` blocks for the next delivered frame, decodes it with
@@ -295,6 +295,9 @@ class ViewerHandle:
         #: violation.  Appended by the ``next_frame`` thread; read it
         #: from that consumer (or after the handle stops consuming).
         self.gaps: list[tuple[int, int]] = []
+        #: well-formed control messages this handle has no handler for
+        #: (same single-consumer access rule as ``gaps``)
+        self.unknown_controls = 0
         self._closed = False
 
     def _decoder(self, name: str) -> Codec:
@@ -357,8 +360,10 @@ class ViewerHandle:
                     (msg.params.get("from", 0), msg.params.get("to", 0))
                 )
             else:
-                # other control traffic is broker bookkeeping; keep
-                # consuming until a frame arrives
+                # a tag this handle has no handler for: count it (the
+                # protocol grows; a silent drop here hid real traffic
+                # once) and keep consuming until a frame arrives
+                self.unknown_controls += 1
                 continue
 
     def _ack(self, frame_id: int) -> None:

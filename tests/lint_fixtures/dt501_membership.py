@@ -1,0 +1,9 @@
+"""Fixture: exactly one DT501 — a membership dispatch test naming an
+unregistered control tag."""
+
+
+def route(msg, camera, stats):
+    if msg.tag in ("view", "zoon"):  # VIOLATION line 6: typo'd member
+        camera.apply(msg)
+    else:
+        stats.unknown_controls += 1

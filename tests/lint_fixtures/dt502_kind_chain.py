@@ -1,0 +1,9 @@
+"""Fixture: exactly one DT502 — a message-kind isinstance chain with
+no else fallback."""
+
+
+def pump(msg, sink):
+    if isinstance(msg, FrameMessage):  # VIOLATION line 6: silent drop
+        sink.frame(msg)
+    elif isinstance(msg, ControlMessage):
+        sink.control(msg)

@@ -1,0 +1,14 @@
+"""Fixture: exactly one DT901 — encoder and decoder disagree on the
+field order of the same named wire record."""
+
+import struct
+
+
+def encode_header(frame_id, nbytes):
+    # wire: hdr
+    return struct.pack("<IQ", frame_id, nbytes)
+
+
+def decode_header(blob):
+    # wire: hdr
+    return struct.unpack("<QI", blob)  # VIOLATION line 14: order flipped

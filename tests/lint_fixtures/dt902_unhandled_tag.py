@@ -1,0 +1,12 @@
+"""Fixture: exactly one DT902 — a client scope that dispatches frames
+and tier renegotiations but never handles the receivable 'gap' tag."""
+
+
+class Player:  # speaks: client
+    def pump(self, msg):
+        if isinstance(msg, FrameMessage):  # VIOLATION line 7 (anchor)
+            self.show(msg)
+        elif msg.tag == "tier":
+            self.level = msg.params["tier"]
+        else:
+            self.unknown_controls += 1

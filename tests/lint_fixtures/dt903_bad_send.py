@@ -1,0 +1,7 @@
+"""Fixture: exactly one DT903 — the client constructs a 'tier'
+control, a tag no state of its spec automaton may send."""
+
+
+class Player:  # speaks: client
+    def renegotiate(self, conn, level):
+        conn.send(ControlMessage(tag="tier", params={"tier": level}))  # VIOLATION line 7

@@ -1,0 +1,17 @@
+"""Fixture: exactly one DT904 — a broker dispatch branch for 'tier',
+a tag the spec says no broker state ever receives (brokers send tier
+renegotiations; they do not take them)."""
+
+
+class Broker:  # speaks: broker
+    def pump(self, msg):
+        if msg.tag == "ack":
+            self.credit(msg)
+        elif msg.tag == "seek":
+            self.reposition(msg)
+        elif msg.tag == "leave":
+            self.depart(msg)
+        elif msg.tag == "tier":  # VIOLATION line 14: dead branch
+            self.retier(msg)
+        else:
+            self.unknown_controls += 1

@@ -1,0 +1,25 @@
+"""Negative fixture: a conformant broker scope plus a properly paired
+wire record — the protoflow analyzer must report nothing here."""
+
+import struct
+
+
+def encode_piece(frame_id, piece, total):
+    return struct.pack("<IHH", frame_id, piece, total)
+
+
+def decode_piece(blob):
+    return struct.unpack("<IHH", blob)
+
+
+class Broker:  # speaks: broker
+    def pump(self, msg):
+        if msg.tag in ("ack", "seek"):
+            self.advance(msg)
+        elif msg.tag == "leave":
+            self.depart(msg)
+        else:
+            self.unknown_controls += 1
+
+    def renegotiate(self, conn, level):
+        conn.send_control("tier", tier=level)

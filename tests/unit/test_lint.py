@@ -25,7 +25,9 @@ EXPECTED = {
     "dt201_sleep_poll.py": ("DT201", 9),
     "dt301_thread_leak.py": ("DT301", 7),
     "dt401_wallclock.py": ("DT401", 12),
+    "dt501_membership.py": ("DT501", 6),
     "dt501_unknown_tag.py": ("DT501", 7),
+    "dt502_kind_chain.py": ("DT502", 6),
     "dt502_no_else.py": ("DT502", 5),
     "dt601_mutable_default.py": ("DT601", 4),
 }
